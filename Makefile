@@ -1,0 +1,29 @@
+PYTHON ?= python
+
+.PHONY: install test bench bench-fast examples suite clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Quick benchmark pass on the small cases only.
+bench-fast:
+	REPRO_BENCH_CASES=case01,case02,case03,case04,case05 \
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done
+	@echo "all examples ran cleanly"
+
+# Table III sweep only.
+table3:
+	$(PYTHON) -m pytest benchmarks/bench_table3_comparison.py --benchmark-only
+
+clean:
+	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,49 @@
+"""Throughput of the batched first pass vs the exact per-connection pass.
+
+The repro band notes pure-Python per-connection routing is the bottleneck
+on the large contest instances; ``RouterConfig.initial_batch_size``
+amortizes one frozen-cost Dijkstra per source die over a whole wave of
+connections.  This benchmark isolates the first pass (no negotiation) and
+reports the speedup and the initial-overflow cost the negotiation rounds
+then have to clean up.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import register_report
+from repro import DelayModel, RouterConfig
+from repro.benchgen import load_case
+from repro.core.initial_routing import InitialRouter
+
+
+def test_batched_vs_exact_first_pass(benchmark):
+    case = load_case("case09", scale=0.25)
+    rows = []
+
+    def run():
+        for batch in (None, 4096):
+            config = RouterConfig(
+                initial_batch_size=batch, max_reroute_iterations=0
+            )
+            router = InitialRouter(case.system, case.netlist, DelayModel(), config)
+            start = time.perf_counter()
+            router.route()
+            elapsed = time.perf_counter() - start
+            rows.append((batch, elapsed, router.stats.final_overflow))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    exact_time = rows[0][1]
+    lines = [
+        f"case09 at scale 0.25 ({case.netlist.num_connections} connections), "
+        "first pass only:",
+        f"{'mode':16s} {'time(s)':>9s} {'speedup':>9s} {'initial overflow':>17s}",
+    ]
+    for batch, elapsed, overflow in rows:
+        mode = "exact" if batch is None else f"batched({batch})"
+        speedup = exact_time / elapsed if elapsed else float("inf")
+        lines.append(f"{mode:16s} {elapsed:9.2f} {speedup:8.1f}x {overflow:17d}")
+    register_report("Batched first pass vs exact", lines)
+    assert rows[1][1] <= rows[0][1]  # batched must not be slower

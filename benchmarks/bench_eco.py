@@ -1,0 +1,53 @@
+"""Incremental (ECO) rerouting vs a full re-route.
+
+Measures the practical payoff of :class:`repro.core.eco.EcoRouter`:
+after touching 1% of the nets, the incremental path should cost a
+fraction of a from-scratch route while staying legal and close in
+quality.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import bench_case, register_report, selected_cases
+from repro import SynergisticRouter
+from repro.core.eco import EcoRouter
+
+
+def test_eco_vs_full_reroute(benchmark):
+    name = "case07" if "case07" in selected_cases() else selected_cases()[-1]
+    case = bench_case(name)
+
+    base = SynergisticRouter(case.system, case.netlist).route()
+    crossing = [net.index for net in case.netlist.crossing_nets()]
+    budget = max(1, len(crossing) // 100)  # ~1% of the crossing nets
+    stride = max(1, len(crossing) // budget)
+    changed = crossing[::stride][:budget]
+
+    def run_eco():
+        return EcoRouter(case.system).reroute_nets(base.solution, changed)
+
+    start = time.perf_counter()
+    eco = benchmark.pedantic(run_eco, rounds=1, iterations=1)
+    eco_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    full = SynergisticRouter(case.system, case.netlist).route()
+    full_time = time.perf_counter() - start
+
+    register_report(
+        "ECO incremental rerouting vs full re-route",
+        [
+            f"case: {name}  changed nets: {len(changed)} "
+            f"({len(changed) / case.netlist.num_nets:.1%})",
+            f"{'flow':18s} {'time(s)':>9s} {'delay':>8s} {'conf':>6s} "
+            f"{'rerouted conns':>15s}",
+            f"{'ECO':18s} {eco_time:9.2f} {eco.critical_delay:8.1f} "
+            f"{eco.conflict_count:6d} {eco.rerouted_connections:15d}",
+            f"{'full re-route':18s} {full_time:9.2f} {full.critical_delay:8.1f} "
+            f"{full.conflict_count:6d} {case.netlist.num_connections:15d}",
+        ],
+    )
+    assert eco.conflict_count == 0
+    assert eco.rerouted_connections < case.netlist.num_connections

@@ -1,0 +1,58 @@
+"""Fig. 4: minimum Steiner tree vs shortest-path tree trade-off.
+
+The paper's Fig. 4 illustrates, on a multi-fanout net, that a minimum
+Steiner tree minimizes edge usage but inflates the worst source-to-sink
+delay, while a shortest-path tree minimizes per-connection delay at the
+price of extra edges.  This benchmark quantifies both metrics on a
+population of multi-fanout nets.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_case, register_report
+from repro import DelayModel
+from repro.baselines import SptTopologyRouter, SteinerTopologyRouter
+from repro.route.tree import net_edge_union
+from repro.timing import TimingAnalyzer
+
+
+def _total_edge_usage(netlist, solution):
+    total = 0
+    for net in netlist.nets:
+        paths = [
+            solution.path(conn.index)
+            for conn in netlist.connections_of(net.index)
+        ]
+        total += len(net_edge_union(p for p in paths if p))
+    return total
+
+
+def test_fig4_steiner_vs_spt(benchmark):
+    case = bench_case("case05")
+    model = DelayModel()
+    analyzer = TimingAnalyzer(case.system, case.netlist, model)
+
+    def run():
+        steiner = SteinerTopologyRouter(case.system, case.netlist, model).route()
+        spt = SptTopologyRouter(case.system, case.netlist, model).route()
+        return steiner, spt
+
+    steiner, spt = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    steiner_usage = _total_edge_usage(case.netlist, steiner)
+    spt_usage = _total_edge_usage(case.netlist, spt)
+    steiner_delay = analyzer.critical_delay(steiner, assume_min_ratio=True)
+    spt_delay = analyzer.critical_delay(spt, assume_min_ratio=True)
+
+    register_report(
+        "Fig. 4: Steiner vs shortest-path-tree trade-off (case05 topology)",
+        [
+            f"{'Strategy':22s} {'edge usage':>12s} {'topo delay (min-ratio)':>24s}",
+            f"{'min Steiner tree':22s} {steiner_usage:12d} {steiner_delay:24.2f}",
+            f"{'shortest-path tree':22s} {spt_usage:12d} {spt_delay:24.2f}",
+            "",
+            "Expected shape (paper Fig. 4): Steiner uses fewer edges; the",
+            "shortest-path tree has the lower worst source-to-sink delay.",
+        ],
+    )
+    assert steiner_usage <= spt_usage

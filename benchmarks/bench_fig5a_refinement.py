@@ -1,0 +1,79 @@
+"""Fig. 5(a): baseline topologies refined by our TDM ratio algorithms.
+
+For every baseline router we take its routed topology, re-run our full
+phase II (Lagrangian initial ratios, legalization, margin-aware
+refinement, wire assignment) on it, and compare three critical delays:
+the baseline's own, the refined one, and our full router's.  The paper
+reports that refinement improves the winners/[18] by 0.3%-10.3% and that
+the refined results remain 5.1%-13.5% behind our router.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from benchmarks.conftest import bench_case, register_report, selected_cases
+from repro import DelayModel, SynergisticRouter
+from repro.baselines import all_baseline_routers
+from repro.core.router import TdmAssigner
+from repro.timing import TimingAnalyzer
+
+#: Fig. 5(a) routers (the adapted [9] is excluded there, as in the paper).
+BASELINES = ["winner1", "winner2", "winner3", "iseda2024"]
+
+_DEFAULT_CASES = [c for c in selected_cases() if c in ("case05", "case06", "case07")]
+CASES = _DEFAULT_CASES or selected_cases()[:1]
+
+RESULTS: Dict[str, List[str]] = {}
+
+
+@pytest.mark.parametrize("case_name", CASES)
+def test_fig5a_refinement(benchmark, case_name):
+    case = bench_case(case_name)
+    model = DelayModel()
+    analyzer = TimingAnalyzer(case.system, case.netlist, model)
+    registry = all_baseline_routers()
+
+    def run():
+        rows = []
+        ours = SynergisticRouter(case.system, case.netlist, model).route()
+        for name in BASELINES:
+            baseline = registry[name](case.system, case.netlist, model).route()
+            if baseline.conflict_count:
+                rows.append((name, baseline.critical_delay, float("nan"), ours))
+                continue
+            refined = baseline.solution.copy_topology()
+            TdmAssigner(case.system, case.netlist, model).assign(refined)
+            rows.append(
+                (name, baseline.critical_delay, analyzer.critical_delay(refined), ours)
+            )
+        return rows, ours
+
+    rows, ours = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        f"-- {case_name} (ours = {ours.critical_delay:.1f}) --",
+        f"{'baseline':12s} {'own':>10s} {'refined':>10s} {'refine%':>9s} {'vs ours':>9s}",
+    ]
+    for name, own, refined, _ in rows:
+        if refined != refined:  # NaN: baseline was illegal
+            lines.append(f"{name:12s} {own:10.1f} {'FAIL':>10s}")
+            continue
+        improve = (own - refined) / own * 100 if own else 0.0
+        vs_ours = (
+            (refined - ours.critical_delay) / ours.critical_delay * 100
+            if ours.critical_delay
+            else 0.0
+        )
+        lines.append(
+            f"{name:12s} {own:10.1f} {refined:10.1f} {improve:8.1f}% {vs_ours:8.1f}%"
+        )
+        # Shape assertion: refinement helps or stays within one TDM
+        # legalization step (p * d1) of the baseline's own assignment —
+        # our phase II re-derives ratios from scratch, so exact
+        # monotonicity per case is not guaranteed, only the trend.
+        slack = model.d1 * model.tdm_step
+        assert refined <= own + slack + 1e-9
+    register_report("Fig. 5(a): our TDM algorithms on baseline topologies", lines)

@@ -1,0 +1,41 @@
+"""Fig. 5(b): runtime breakdown of our router on the largest case.
+
+The paper reports, on Case #10: initial routing (IR) 70.39%, initial TDM
+ratio assignment (TA) 19.50%, legalization + wire assignment (LG & WA)
+10.12%.  The exact split depends on language and machine; the shape to
+reproduce is IR >> TA > LG & WA.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_case, register_report, selected_cases
+from repro import SynergisticRouter
+
+
+def test_fig5b_runtime_breakdown(benchmark):
+    name = "case10" if "case10" in selected_cases() else selected_cases()[-1]
+    case = bench_case(name)
+
+    def run():
+        return SynergisticRouter(case.system, case.netlist).route()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    fractions = result.phase_times.fractions()
+    times = result.phase_times
+    register_report(
+        "Fig. 5(b): runtime breakdown",
+        [
+            f"case: {name}  total {times.total:.2f}s",
+            f"{'phase':28s} {'seconds':>9s} {'share':>8s} {'paper':>8s}",
+            f"{'initial routing (IR)':28s} {times.initial_routing:9.2f} "
+            f"{fractions['IR']:8.1%} {'70.39%':>8s}",
+            f"{'initial TDM ratios (TA)':28s} {times.tdm_assignment:9.2f} "
+            f"{fractions['TA']:8.1%} {'19.50%':>8s}",
+            f"{'legalize + wires (LG & WA)':28s} "
+            f"{times.legalization_wire_assignment:9.2f} "
+            f"{fractions['LG & WA']:8.1%} {'10.12%':>8s}",
+        ],
+    )
+    # The shape of the paper's pie: IR dominates.
+    assert fractions["IR"] > fractions["TA"]
+    assert fractions["IR"] > fractions["LG & WA"]

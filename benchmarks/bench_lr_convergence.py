@@ -1,0 +1,54 @@
+"""Algorithm 1 convergence: primal-dual gap per LR iteration.
+
+Not a figure in the paper, but the property Algorithm 1's stopping rule
+relies on: the gap between the critical delay and the Lagrangian lower
+bound must shrink below ε within MaxIter iterations.  The series is
+reported so regressions in the multiplier update are visible.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_case, register_report, selected_cases
+from repro import DelayModel, RouterConfig
+from repro.core.incidence import TdmIncidence
+from repro.core.initial_routing import InitialRouter
+from repro.core.lagrangian import LagrangianTdmAssigner
+
+
+def test_lr_convergence(benchmark):
+    name = "case06" if "case06" in selected_cases() else selected_cases()[-1]
+    case = bench_case(name)
+    model = DelayModel()
+    config = RouterConfig()
+    solution = InitialRouter(case.system, case.netlist, model, config).route()
+    incidence = TdmIncidence(case.system, case.netlist, solution, model)
+    if incidence.num_pairs == 0:
+        register_report("LR convergence", [f"{name}: no TDM usage, skipped"])
+        return
+
+    result = benchmark.pedantic(
+        lambda: LagrangianTdmAssigner(incidence, config).solve(),
+        rounds=1,
+        iterations=1,
+    )
+    history = result.history
+    lines = [
+        f"case: {name}  iterations: {history.num_iterations}  "
+        f"converged: {history.converged}  final gap: {history.final_gap:.2e}",
+        f"{'iter':>5s} {'critical':>10s} {'lower bnd':>10s} {'gap':>10s}",
+    ]
+    step = max(1, history.num_iterations // 12)
+    for it in history.iterations[::step]:
+        lines.append(
+            f"{it.iteration:5d} {it.critical_delay:10.2f} "
+            f"{it.lower_bound:10.2f} {it.gap:10.2e}"
+        )
+    last = history.iterations[-1]
+    if last.iteration % step:
+        lines.append(
+            f"{last.iteration:5d} {last.critical_delay:10.2f} "
+            f"{last.lower_bound:10.2f} {last.gap:10.2e}"
+        )
+    register_report("LR convergence (Algorithm 1)", lines)
+    gaps = [it.gap for it in history.iterations]
+    assert gaps[-1] <= gaps[0]

@@ -1,0 +1,73 @@
+"""Optimality rate vs the exact reference solver on tiny instances.
+
+For a battery of random small cases the exact optimum is computable by
+enumeration (`repro.analysis.ExactSolver`); this benchmark reports how
+often the heuristic router attains it and the mean gap when it does not —
+the strongest quality evidence a heuristic can offer.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import register_report
+from repro import Net, Netlist, SynergisticRouter, SystemBuilder
+from repro.analysis import ExactSolver, InstanceTooLarge
+
+NUM_INSTANCES = 60
+
+
+def _random_instance(seed: int):
+    rng = random.Random(seed)
+    builder = SystemBuilder()
+    a = builder.add_fpga(num_dies=2, sll_capacity=rng.choice([4, 10, 50]))
+    b = builder.add_fpga(num_dies=2, sll_capacity=rng.choice([4, 10, 50]))
+    builder.add_tdm_edge(a.die(1), b.die(0), rng.choice([2, 3, 4, 8]))
+    system = builder.build()
+    nets = []
+    for i in range(rng.randint(1, 8)):
+        source = rng.randrange(4)
+        sink = rng.randrange(4)
+        if sink == source:
+            sink = (sink + 1) % 4
+        nets.append(Net(f"n{i}", source, (sink,)))
+    return system, Netlist(nets)
+
+
+def test_optimality_rate(benchmark):
+    def run():
+        matched = 0
+        gaps = []
+        evaluated = 0
+        for seed in range(NUM_INSTANCES):
+            system, netlist = _random_instance(seed)
+            try:
+                exact = ExactSolver(system, netlist).solve()
+            except InstanceTooLarge:
+                continue
+            if exact.optimal_delay == float("inf"):
+                continue  # structurally infeasible in the restricted space
+            result = SynergisticRouter(system, netlist).route()
+            if result.conflict_count:
+                continue
+            evaluated += 1
+            gap = result.critical_delay - exact.optimal_delay
+            assert gap >= -1e-9  # a heuristic can never beat the optimum
+            if gap <= 1e-9:
+                matched += 1
+            else:
+                gaps.append(gap / exact.optimal_delay)
+        return evaluated, matched, gaps
+
+    evaluated, matched, gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    mean_gap = sum(gaps) / len(gaps) if gaps else 0.0
+    register_report(
+        "Optimality vs exact solver (tiny instances)",
+        [
+            f"instances evaluated : {evaluated}",
+            f"optimum attained    : {matched} ({matched / max(1, evaluated):.0%})",
+            f"mean gap when missed: {mean_gap:.1%}",
+        ],
+    )
+    assert evaluated >= 20
+    assert matched / evaluated >= 0.9  # near-universal optimality expected

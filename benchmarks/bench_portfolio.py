@@ -1,0 +1,52 @@
+"""Portfolio (multi-start) routing vs the single default configuration.
+
+Quantifies what a restart budget buys: the portfolio runs four
+configurations and keeps the best legal result — the quality/runtime
+trade contest entries make.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_case, register_report, selected_cases
+from repro import SynergisticRouter
+from repro.core.portfolio import PortfolioRouter
+
+_DEFAULT = [c for c in selected_cases() if c in ("case06", "case08", "case10")]
+CASES = _DEFAULT or selected_cases()[:1]
+
+
+@pytest.mark.parametrize("case_name", CASES)
+def test_portfolio_vs_single(benchmark, case_name):
+    case = bench_case(case_name)
+
+    def run():
+        start = time.perf_counter()
+        single = SynergisticRouter(case.system, case.netlist).route()
+        single_time = time.perf_counter() - start
+        start = time.perf_counter()
+        outcome = PortfolioRouter(case.system, case.netlist).route()
+        portfolio_time = time.perf_counter() - start
+        return single, single_time, outcome, portfolio_time
+
+    single, single_time, outcome, portfolio_time = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    gain = (
+        (single.critical_delay - outcome.best.critical_delay)
+        / single.critical_delay
+        if single.critical_delay
+        else 0.0
+    )
+    register_report(
+        "Portfolio routing vs single config",
+        [
+            f"{case_name}: single={single.critical_delay:.1f} "
+            f"({single_time:.1f}s) | portfolio={outcome.best.critical_delay:.1f} "
+            f"via {outcome.best_name} ({portfolio_time:.1f}s) | gain {gain:.1%}",
+        ],
+    )
+    assert outcome.best.critical_delay <= single.critical_delay + 1e-9

@@ -1,0 +1,45 @@
+"""Table II: statistics of the (generated) contest benchmarks.
+
+Regenerates every case and reports the columns of the paper's Table II —
+#FPGAs, #Dies, SLL #Edges/#Wires, TDM #Edges/#Wires, #Nets, #Conns — at
+the configured scale.  The benchmark measures generation time.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_case, register_report, selected_cases
+from repro.benchgen import CONTEST_CASES
+
+
+def test_table2_statistics(benchmark):
+    names = selected_cases()
+
+    def generate_all():
+        return [bench_case(name) for name in names]
+
+    cases = benchmark.pedantic(generate_all, rounds=1, iterations=1)
+
+    lines = [
+        f"{'Design':8s} {'#FPGAs':>6s} {'#Dies':>5s} {'SLL#E':>6s} {'SLL#W':>9s} "
+        f"{'TDM#E':>6s} {'TDM#W':>8s} {'#Nets':>9s} {'#Conns':>9s} {'scale':>8s}"
+    ]
+    for case in cases:
+        stats = case.stats()
+        lines.append(
+            f"{case.spec.name:8s} {stats['fpgas']:6d} {stats['dies']:5d} "
+            f"{stats['sll_edges']:6d} {stats['sll_wires']:9d} "
+            f"{stats['tdm_edges']:6d} {stats['tdm_wires']:8d} "
+            f"{stats['nets']:9d} {stats['connections']:9d} {case.scale:8.4f}"
+        )
+    lines.append("")
+    lines.append("Published full-scale rows (Table II) for reference:")
+    for name in names:
+        spec = CONTEST_CASES[name]
+        lines.append(
+            f"{spec.name:8s} {spec.num_fpgas:6d} {spec.num_dies:5d} "
+            f"{spec.num_sll_edges:6d} {spec.sll_wires_total:9d} "
+            f"{spec.num_tdm_edges:6d} {spec.tdm_wires_total:8d} "
+            f"{spec.num_nets:9d} {spec.num_connections:9d}"
+        )
+    register_report("Table II: benchmark statistics", lines)
+    assert len(cases) == len(names)

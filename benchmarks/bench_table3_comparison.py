@@ -1,0 +1,115 @@
+"""Table III: delay / #CONF / runtime across routers and contest cases.
+
+One benchmark per (router, case) pair; a final collector test renders the
+paper-style table with per-router normalized delay and runtime (geometric
+means over the cases where every router produced a legal result), plus
+FAIL markers where a router leaves SLL overlaps.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from typing import Dict, Tuple
+
+import pytest
+
+from benchmarks.conftest import bench_case, register_report, selected_cases
+from repro import SynergisticRouter
+from repro.baselines import all_baseline_routers
+
+RESULTS: Dict[Tuple[str, str], Tuple[float, int, float]] = {}
+
+
+def selected_routers():
+    raw = os.environ.get("REPRO_BENCH_ROUTERS", "")
+    registry = {"ours": SynergisticRouter}
+    registry.update(all_baseline_routers())
+    if raw.strip():
+        picked = [name.strip() for name in raw.split(",") if name.strip()]
+        return {name: registry[name] for name in picked}
+    return registry
+
+
+ROUTERS = selected_routers()
+CASES = selected_cases()
+
+
+@pytest.mark.parametrize("router_name", list(ROUTERS))
+@pytest.mark.parametrize("case_name", CASES)
+def test_route(benchmark, router_name, case_name):
+    case = bench_case(case_name)
+    cls = ROUTERS[router_name]
+
+    def run():
+        return cls(case.system, case.netlist).route()
+
+    start = time.perf_counter()
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    RESULTS[(router_name, case_name)] = (
+        result.critical_delay,
+        result.conflict_count,
+        elapsed,
+    )
+    assert result.solution.is_complete
+
+
+def test_zz_render_table3(benchmark):
+    """Render the collected Table III (runs last by name)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not RESULTS:
+        pytest.skip("no routing results collected")
+    lines = []
+    header = f"{'Router':20s} {'Metric':8s}" + "".join(
+        f"{name[-2:]:>10s}" for name in CASES
+    ) + f"{'Norm.':>8s}"
+    lines.append(header)
+
+    # Normalization baseline: our router's legal results.
+    ours = {c: RESULTS.get(("ours", c)) for c in CASES}
+    for router_name in ROUTERS:
+        rows = {c: RESULTS.get((router_name, c)) for c in CASES}
+        delay_cells, conf_cells, time_cells = [], [], []
+        delay_ratios, time_ratios = [], []
+        for c in CASES:
+            entry = rows[c]
+            if entry is None:
+                for cells in (delay_cells, conf_cells, time_cells):
+                    cells.append(f"{'-':>10s}")
+                continue
+            delay, conf, elapsed = entry
+            delay_cells.append(
+                f"{'FAIL':>10s}" if conf else f"{delay:10.1f}"
+            )
+            conf_cells.append(f"{conf:10d}")
+            time_cells.append(f"{elapsed:10.2f}")
+            base = ours.get(c)
+            if base and base[1] == 0 and conf == 0 and base[0] > 0:
+                delay_ratios.append(delay / base[0])
+                if base[2] > 0 and elapsed > 0:
+                    time_ratios.append(elapsed / base[2])
+        norm_delay = (
+            math.exp(sum(math.log(r) for r in delay_ratios) / len(delay_ratios))
+            if delay_ratios
+            else float("nan")
+        )
+        norm_time = (
+            math.exp(sum(math.log(r) for r in time_ratios) / len(time_ratios))
+            if time_ratios
+            else float("nan")
+        )
+        lines.append(
+            f"{router_name:20s} {'Delay':8s}" + "".join(delay_cells) + f"{norm_delay:8.3f}"
+        )
+        lines.append(f"{'':20s} {'#CONF':8s}" + "".join(conf_cells))
+        lines.append(
+            f"{'':20s} {'Time(s)':8s}" + "".join(time_cells) + f"{norm_time:8.3f}"
+        )
+    lines.append("")
+    lines.append(
+        "Norm. = geometric mean relative to 'ours' over mutually legal cases "
+        "(paper: ours 1.000; winners 1.098/1.238/1.171; [18] 1.076)."
+    )
+    register_report("Table III: router comparison", lines)

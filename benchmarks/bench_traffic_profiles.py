@@ -1,0 +1,47 @@
+"""Robustness of the conclusion across qualitatively different workloads.
+
+The contest traffic profile is unknown (DESIGN.md substitution 1); this
+benchmark regenerates a mid-size case under three qualitatively different
+sink distributions — emulation-style (cross-FPGA heavy), uniform, and
+hotspot (two hub dies) — and checks ours vs the winner1 proxy on each.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from benchmarks.conftest import register_report
+from repro import SynergisticRouter
+from repro.baselines import ContestWinner1Router
+from repro.benchgen import CONTEST_CASES, DEFAULT_SCALES, generate_case
+
+PROFILES = ("emulation", "uniform", "hotspot")
+
+
+def test_traffic_profile_robustness(benchmark):
+    spec = CONTEST_CASES["case07"]
+    scale = DEFAULT_SCALES["case07"]
+
+    def run():
+        rows = []
+        for profile in PROFILES:
+            case = generate_case(
+                dataclasses.replace(spec, traffic_profile=profile), scale
+            )
+            ours = SynergisticRouter(case.system, case.netlist).route()
+            theirs = ContestWinner1Router(case.system, case.netlist).route()
+            rows.append((profile, ours, theirs))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "case07 regenerated under three traffic profiles:",
+        f"{'profile':12s} {'ours':>9s} {'winner1':>9s}",
+    ]
+    for profile, ours, theirs in rows:
+        lines.append(
+            f"{profile:12s} {ours.critical_delay:9.1f} {theirs.critical_delay:9.1f}"
+        )
+        if ours.conflict_count == 0 and theirs.conflict_count == 0:
+            assert ours.critical_delay <= theirs.critical_delay + 1e-9, profile
+    register_report("Traffic-profile robustness", lines)

@@ -1,0 +1,66 @@
+"""Shared benchmark plumbing.
+
+Environment knobs:
+
+* ``REPRO_BENCH_CASES`` — comma-separated case names to run (default: all
+  ten at their per-case default scales).
+* ``REPRO_BENCH_SCALE`` — scale override applied to *every* case (e.g.
+  ``1.0`` to attempt the full Table II sizes; expect long runtimes).
+* ``REPRO_BENCH_ROUTERS`` — comma-separated router subset for Table III.
+
+Each benchmark registers a human-readable result table that is printed in
+the terminal summary, so ``pytest benchmarks/ --benchmark-only`` emits the
+paper-style tables alongside the timing statistics.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.benchgen import case_names, load_case
+
+#: Report blocks printed at session end, in insertion order.
+REPORTS: Dict[str, List[str]] = {}
+
+
+def register_report(title: str, lines: List[str]) -> None:
+    """Register (or extend) a report block for the terminal summary."""
+    REPORTS.setdefault(title, []).extend(lines)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    for title, lines in REPORTS.items():
+        terminalreporter.write_sep("=", title)
+        for line in lines:
+            terminalreporter.write_line(line)
+
+
+def selected_cases() -> List[str]:
+    raw = os.environ.get("REPRO_BENCH_CASES", "")
+    if raw.strip():
+        return [name.strip() for name in raw.split(",") if name.strip()]
+    return case_names()
+
+
+def bench_scale() -> Optional[float]:
+    raw = os.environ.get("REPRO_BENCH_SCALE", "")
+    return float(raw) if raw.strip() else None
+
+
+_CASE_CACHE: Dict[str, object] = {}
+
+
+def bench_case(name: str):
+    """Load (and cache) a contest case at the benchmark scale."""
+    key = f"{name}@{bench_scale()}"
+    if key not in _CASE_CACHE:
+        _CASE_CACHE[key] = load_case(name, scale=bench_scale())
+    return _CASE_CACHE[key]
+
+
+@pytest.fixture(params=selected_cases())
+def contest_case(request):
+    return bench_case(request.param)

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Contest flow: generate a contest case, route it with every router.
+
+Run with::
+
+    python examples/contest_flow.py [case_name] [scale]
+
+Reproduces one row of the paper's Table III: critical connection delay,
+SLL conflicts (#CONF) and runtime for our router, the three contest
+winner proxies, the [18] proxy and the adapted FPGA-level router.
+"""
+
+import sys
+import time
+
+from repro import DelayModel, DesignRuleChecker, SynergisticRouter
+from repro.baselines import all_baseline_routers
+from repro.benchgen import load_case
+
+
+def main():
+    case_name = sys.argv[1] if len(sys.argv) > 1 else "case05"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else None
+    case = load_case(case_name, scale=scale)
+    print(f"case {case.spec.name} at scale {case.scale}: {case.stats()}")
+
+    routers = {"ours": SynergisticRouter}
+    routers.update(all_baseline_routers())
+    checker = DesignRuleChecker(case.system, case.netlist, DelayModel())
+
+    print(f"\n{'router':20s} {'delay':>9s} {'#CONF':>7s} {'time':>8s}  drc")
+    for name, cls in routers.items():
+        start = time.perf_counter()
+        result = cls(case.system, case.netlist).route()
+        elapsed = time.perf_counter() - start
+        report = checker.check(result.solution)
+        verdict = "clean" if report.is_clean else report.summary()
+        delay = f"{result.critical_delay:9.1f}" if result.is_legal else f"{'FAIL':>9s}"
+        print(
+            f"{name:20s} {delay} {result.conflict_count:7d} "
+            f"{elapsed:7.2f}s  {verdict}"
+        )
+
+
+if __name__ == "__main__":
+    main()

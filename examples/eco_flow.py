@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Incremental (ECO) flow: update a routed system after design changes.
+
+Run with::
+
+    python examples/eco_flow.py
+
+Emulation projects iterate daily: a few nets change, and re-routing the
+whole system discards a known-good result.  This example routes a design
+once, then plays three typical engineering change orders against it:
+
+1. *timing fix* — rip up and re-route the nets on the critical path,
+2. *netlist revision* — migrate the solution to a new netlist revision
+   (one net re-targeted, one added, one removed),
+3. sanity: verify every incremental result against the full DRC.
+"""
+
+import time
+
+from repro import (
+    DelayModel,
+    DesignRuleChecker,
+    Net,
+    Netlist,
+    SynergisticRouter,
+)
+from repro.benchgen import load_case
+from repro.core.eco import EcoRouter
+
+
+def main():
+    case = load_case("case05")
+    system, netlist = case.system, case.netlist
+    model = DelayModel()
+    checker = DesignRuleChecker(system, netlist, model)
+
+    start = time.perf_counter()
+    base = SynergisticRouter(system, netlist, model).route()
+    full_time = time.perf_counter() - start
+    print(
+        f"baseline route: delay {base.critical_delay:.1f}, "
+        f"{netlist.num_connections} connections, {full_time:.2f}s"
+    )
+
+    eco = EcoRouter(system, model)
+
+    # --- ECO 1: re-route the critical path's nets -------------------------
+    critical_conn = netlist.connections[base.timing.critical_connection]
+    start = time.perf_counter()
+    fixed = eco.reroute_nets(base.solution, [critical_conn.net_index])
+    eco_time = time.perf_counter() - start
+    print(
+        f"\nECO 1 (timing fix, net {netlist.net(critical_conn.net_index).name!r}): "
+        f"delay {fixed.critical_delay:.1f}, rerouted "
+        f"{fixed.rerouted_connections} connections in {eco_time:.2f}s "
+        f"({eco_time / full_time:.0%} of a full route)"
+    )
+    assert checker.check(fixed.solution).is_clean
+
+    # --- ECO 2: migrate to a new netlist revision --------------------------
+    revised = []
+    for net in netlist.nets:
+        if net.index == 0 and net.is_die_crossing:
+            # Re-target net 0's first sink.
+            new_sink = (net.sink_dies[0] + 2) % system.num_dies
+            if new_sink == net.source_die:
+                new_sink = (new_sink + 1) % system.num_dies
+            revised.append(Net(net.name, net.source_die, (new_sink,)))
+        elif net.index == 1:
+            continue  # net removed in the revision
+        else:
+            revised.append(Net(net.name, net.source_die, net.sink_dies))
+    revised.append(Net("late_addition", 0, (system.num_dies - 1,)))
+    new_netlist = Netlist(revised)
+
+    start = time.perf_counter()
+    migrated = eco.migrate(base.solution, new_netlist)
+    migrate_time = time.perf_counter() - start
+    print(
+        f"\nECO 2 (netlist revision): preserved "
+        f"{migrated.preserved_connections} connections, rerouted "
+        f"{migrated.rerouted_connections}, delay {migrated.critical_delay:.1f}, "
+        f"{migrate_time:.2f}s"
+    )
+    revision_checker = DesignRuleChecker(system, new_netlist, model)
+    report = revision_checker.check(migrated.solution)
+    print(f"revision DRC: {report.summary()}")
+
+
+if __name__ == "__main__":
+    main()

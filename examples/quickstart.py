@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Quickstart: build a small multi-FPGA system, route it, inspect results.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks through the full public API: system construction, netlist
+definition, routing, timing analysis and the design-rule check.
+"""
+
+from repro import (
+    DelayModel,
+    DesignRuleChecker,
+    Net,
+    Netlist,
+    SynergisticRouter,
+    SystemBuilder,
+)
+from repro.timing import TimingAnalyzer
+
+
+def build_system():
+    """A 2-FPGA prototyping board: 4 dies each, two TDM cables."""
+    builder = SystemBuilder()
+    fpga_a = builder.add_fpga(num_dies=4, sll_capacity=500, name="fpgaA")
+    fpga_b = builder.add_fpga(num_dies=4, sll_capacity=500, name="fpgaB")
+    # Two TDM cables between the boards, 16 physical wires each.
+    builder.add_tdm_edge(fpga_a.die(3), fpga_b.die(0), capacity=16)
+    builder.add_tdm_edge(fpga_a.die(0), fpga_b.die(3), capacity=16)
+    return builder.build()
+
+
+def build_netlist():
+    """A handful of nets, including a multi-fanout broadcast."""
+    return Netlist(
+        [
+            Net("cpu_to_mem", source_die=0, sink_dies=(5,)),
+            Net("mem_to_cpu", source_die=5, sink_dies=(0,)),
+            Net("clk_tree", source_die=2, sink_dies=(0, 3, 4, 7)),
+            Net("dma_req", source_die=1, sink_dies=(6,)),
+            Net("dma_ack", source_die=6, sink_dies=(1,)),
+            Net("local_bus", source_die=3, sink_dies=(3,)),  # intra-die
+        ]
+    )
+
+
+def main():
+    system = build_system()
+    netlist = build_netlist()
+    delay_model = DelayModel()  # d_SLL=0.5, d0=2.0, d1=0.5, step p=8
+
+    print(f"system : {system}")
+    print(f"netlist: {netlist}")
+
+    # --- route ---------------------------------------------------------
+    router = SynergisticRouter(system, netlist, delay_model)
+    result = router.route()
+    print(f"\ncritical connection delay: {result.critical_delay:.2f}")
+    print(f"SLL conflicts            : {result.conflict_count}")
+    fractions = result.phase_times.fractions()
+    print(
+        f"runtime breakdown        : IR {fractions['IR']:.0%}, "
+        f"TA {fractions['TA']:.0%}, LG&WA {fractions['LG & WA']:.0%}"
+    )
+
+    # --- inspect per-connection timing ----------------------------------
+    analyzer = TimingAnalyzer(system, netlist, delay_model)
+    print("\nworst connections:")
+    for timing in analyzer.worst_connections(result.solution, count=3):
+        conn = netlist.connections[timing.connection_index]
+        net = netlist.net(conn.net_index)
+        path = " -> ".join(str(d) for d in result.solution.path(conn.index))
+        print(
+            f"  {net.name:12s} to die {conn.sink_die}: delay {timing.delay:5.2f} "
+            f"({timing.num_sll_edges} SLL + {timing.num_tdm_edges} TDM)  path {path}"
+        )
+
+    # --- inspect the TDM wires ------------------------------------------
+    print("\nTDM wires:")
+    for edge in system.tdm_edges:
+        for wire in result.solution.wires.get(edge.index, []):
+            nets = ", ".join(netlist.net(n).name for n in wire.net_indices)
+            arrow = "->" if wire.direction == 0 else "<-"
+            print(
+                f"  edge {edge.die_a}{arrow}{edge.die_b}: ratio {wire.ratio:3d}  "
+                f"carrying [{nets}]"
+            )
+
+    # --- verify against every design rule --------------------------------
+    report = DesignRuleChecker(system, netlist, delay_model).check(result.solution)
+    print(f"\n{report.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""TDM design-space exploration: capacity vs critical delay.
+
+Run with::
+
+    python examples/tdm_exploration.py
+
+A system architect sizing a prototyping board wants to know how many
+physical TDM wires each cable needs.  This example sweeps the TDM edge
+capacity for a fixed emulation workload and reports the critical
+connection delay and the resulting maximum TDM ratio — the classic
+capacity/performance trade-off the TDM technique exists to manage.
+It also sweeps the TDM step `p`, showing the legalization granularity
+cost.
+"""
+
+import random
+
+from repro import Net, Netlist, SystemBuilder
+
+
+def build_case(tdm_capacity, seed=11, num_nets=400):
+    builder = SystemBuilder()
+    fpga_a = builder.add_fpga(num_dies=4, sll_capacity=2000)
+    fpga_b = builder.add_fpga(num_dies=4, sll_capacity=2000)
+    builder.add_tdm_edge(fpga_a.die(3), fpga_b.die(0), tdm_capacity)
+    builder.add_tdm_edge(fpga_a.die(0), fpga_b.die(3), tdm_capacity)
+    system = builder.build()
+
+    rng = random.Random(seed)
+    nets = []
+    for i in range(num_nets):
+        # Cross-FPGA dominated traffic, as in emulation workloads.
+        source = rng.randrange(4)
+        sink = 4 + rng.randrange(4)
+        if rng.random() < 0.5:
+            source, sink = sink, source
+        nets.append(Net(f"n{i}", source, (sink,)))
+    return system, Netlist(nets)
+
+
+def sweep_capacity():
+    from repro.analysis import sweep_tdm_capacity
+
+    print("TDM capacity sweep (step p = 8):")
+    result = sweep_tdm_capacity(
+        build_system=lambda capacity: build_case(capacity)[0],
+        netlist_for=lambda system: build_case(system.tdm_edges[0].capacity)[1],
+        capacities=(4, 8, 16, 32, 64, 128),
+    )
+    for row in result.as_rows():
+        print("  " + row)
+    best = result.best()
+    print(f"  -> smallest delay at capacity {best.parameter}")
+
+
+def sweep_step():
+    from repro.analysis import sweep_tdm_step
+
+    print("\nTDM step sweep (capacity = 16 wires/cable):")
+    system, netlist = build_case(16)
+    result = sweep_tdm_step(system, netlist, steps=(1, 2, 4, 8, 16))
+    for row in result.as_rows():
+        print("  " + row)
+
+
+if __name__ == "__main__":
+    sweep_capacity()
+    sweep_step()

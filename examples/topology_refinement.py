@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Refining a foreign routing topology with our TDM algorithms (Fig. 5a).
+
+Run with::
+
+    python examples/topology_refinement.py
+
+Emulation teams often already have a routing topology (from a vendor tool
+or an older in-house router) and only want better TDM ratios.  This
+example routes a case with a baseline router, keeps its topology, and
+re-runs our full phase II (Lagrangian initial ratios, legalization,
+margin-aware refinement, wire assignment) on it — the exact experiment of
+the paper's Fig. 5(a).
+"""
+
+from repro import DelayModel, DesignRuleChecker, SynergisticRouter
+from repro.baselines import all_baseline_routers
+from repro.benchgen import load_case
+from repro.core.router import TdmAssigner
+from repro.timing import TimingAnalyzer
+
+
+def main():
+    case = load_case("case05")
+    model = DelayModel()
+    analyzer = TimingAnalyzer(case.system, case.netlist, model)
+    checker = DesignRuleChecker(case.system, case.netlist, model)
+
+    ours = SynergisticRouter(case.system, case.netlist, model).route()
+    print(f"our full router: critical delay {ours.critical_delay:.1f}\n")
+
+    print(f"{'baseline':12s} {'own':>8s} {'refined':>9s} {'improve':>9s} {'vs ours':>9s}")
+    for name, cls in all_baseline_routers().items():
+        baseline = cls(case.system, case.netlist, model).route()
+        if baseline.conflict_count:
+            print(f"{name:12s} {'FAIL':>8s}")
+            continue
+
+        refined = baseline.solution.copy_topology()  # topology only
+        TdmAssigner(case.system, case.netlist, model).assign(refined)
+        assert checker.check(refined).is_clean
+
+        refined_delay = analyzer.critical_delay(refined)
+        improve = (baseline.critical_delay - refined_delay) / baseline.critical_delay
+        gap = (refined_delay - ours.critical_delay) / ours.critical_delay
+        print(
+            f"{name:12s} {baseline.critical_delay:8.1f} {refined_delay:9.1f} "
+            f"{improve:8.1%} {gap:+8.1%}"
+        )
+
+    print(
+        "\npaper's Fig. 5(a): refinement buys 0.3%-10.3%; refined baselines "
+        "remain 5.1%-13.5% behind the full router."
+    )
+
+
+if __name__ == "__main__":
+    main()

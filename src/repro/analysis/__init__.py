@@ -1,0 +1,50 @@
+"""Design-space exploration utilities.
+
+Formalizes the sweeps a prototyping architect runs when sizing a system:
+TDM capacity vs critical delay, TDM step granularity, and delay-constant
+sensitivity.  Used by the examples and the robustness benchmarks.
+"""
+
+from repro.analysis.sweep import (
+    SweepPoint,
+    SweepResult,
+    sweep_delay_models,
+    sweep_tdm_capacity,
+    sweep_tdm_step,
+)
+from repro.analysis.netlist_stats import NetlistStats, netlist_stats
+from repro.analysis.exact import ExactResult, ExactSolver, InstanceTooLarge
+from repro.analysis.feasibility import (
+    DiePressure,
+    FeasibilityReport,
+    check_feasibility,
+)
+from repro.analysis.compare import ComparisonTable, run_comparison
+from repro.analysis.lower_bound import (
+    LowerBound,
+    bisection_lower_bound,
+    certified_lower_bound,
+    distance_lower_bound,
+)
+
+__all__ = [
+    "ComparisonTable",
+    "LowerBound",
+    "bisection_lower_bound",
+    "certified_lower_bound",
+    "distance_lower_bound",
+    "DiePressure",
+    "run_comparison",
+    "ExactResult",
+    "FeasibilityReport",
+    "check_feasibility",
+    "ExactSolver",
+    "InstanceTooLarge",
+    "NetlistStats",
+    "SweepPoint",
+    "SweepResult",
+    "netlist_stats",
+    "sweep_delay_models",
+    "sweep_tdm_capacity",
+    "sweep_tdm_step",
+]

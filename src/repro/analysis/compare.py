@@ -1,0 +1,165 @@
+"""Structured router comparison harness (the Table III engine as a library).
+
+The benchmark files print the paper-style tables; this module is the
+programmable form — run any set of routers over any set of cases, get a
+:class:`ComparisonTable` with normalized scores, and render it wherever
+you like (the benches, a notebook, a CI summary).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.arch.system import MultiFpgaSystem
+from repro.core.router import RoutingResult, SynergisticRouter
+from repro.netlist.netlist import Netlist
+
+#: A router factory: (system, netlist) -> object with .route() -> RoutingResult.
+RouterFactory = Callable[[MultiFpgaSystem, Netlist], object]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (router, case) measurement.
+
+    Attributes:
+        critical_delay: the objective value.
+        conflicts: SLL overflow (0 = legal).
+        runtime: wall-clock seconds.
+    """
+
+    critical_delay: float
+    conflicts: int
+    runtime: float
+
+    @property
+    def is_legal(self) -> bool:
+        """Overlap-free on SLL edges."""
+        return self.conflicts == 0
+
+
+@dataclass
+class ComparisonTable:
+    """Results of a router x case sweep.
+
+    Attributes:
+        case_names: column order.
+        cells: (router, case) -> measurement.
+        reference: router name used for normalization.
+    """
+
+    case_names: List[str]
+    cells: Dict[Tuple[str, str], Cell] = field(default_factory=dict)
+    reference: str = "ours"
+
+    def routers(self) -> List[str]:
+        """Router names in insertion order."""
+        seen: Dict[str, None] = {}
+        for router, _ in self.cells:
+            seen.setdefault(router, None)
+        return list(seen)
+
+    def normalized_delay(self, router: str) -> float:
+        """Geometric-mean delay ratio vs the reference over mutually legal
+        cases (NaN when no case qualifies)."""
+        ratios = []
+        for case in self.case_names:
+            mine = self.cells.get((router, case))
+            base = self.cells.get((self.reference, case))
+            if (
+                mine
+                and base
+                and mine.is_legal
+                and base.is_legal
+                and base.critical_delay > 0
+            ):
+                ratios.append(mine.critical_delay / base.critical_delay)
+        if not ratios:
+            return float("nan")
+        return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+    def normalized_runtime(self, router: str) -> float:
+        """Geometric-mean runtime ratio vs the reference (NaN when empty)."""
+        ratios = []
+        for case in self.case_names:
+            mine = self.cells.get((router, case))
+            base = self.cells.get((self.reference, case))
+            if mine and base and mine.runtime > 0 and base.runtime > 0:
+                ratios.append(mine.runtime / base.runtime)
+        if not ratios:
+            return float("nan")
+        return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+    def failures(self, router: str) -> List[str]:
+        """Cases the router left illegal."""
+        return [
+            case
+            for case in self.case_names
+            if (cell := self.cells.get((router, case))) and not cell.is_legal
+        ]
+
+    def render(self) -> List[str]:
+        """Paper-style text rows."""
+        header = f"{'Router':20s} {'Metric':8s}" + "".join(
+            f"{name[-4:]:>10s}" for name in self.case_names
+        ) + f"{'Norm.':>8s}"
+        rows = [header]
+        for router in self.routers():
+            delay_cells, time_cells = [], []
+            for case in self.case_names:
+                cell = self.cells.get((router, case))
+                if cell is None:
+                    delay_cells.append(f"{'-':>10s}")
+                    time_cells.append(f"{'-':>10s}")
+                    continue
+                delay_cells.append(
+                    f"{'FAIL':>10s}" if not cell.is_legal else f"{cell.critical_delay:10.1f}"
+                )
+                time_cells.append(f"{cell.runtime:10.2f}")
+            rows.append(
+                f"{router:20s} {'Delay':8s}"
+                + "".join(delay_cells)
+                + f"{self.normalized_delay(router):8.3f}"
+            )
+            rows.append(
+                f"{'':20s} {'Time(s)':8s}"
+                + "".join(time_cells)
+                + f"{self.normalized_runtime(router):8.3f}"
+            )
+        return rows
+
+
+def run_comparison(
+    cases: Dict[str, Tuple[MultiFpgaSystem, Netlist]],
+    routers: Optional[Dict[str, RouterFactory]] = None,
+    reference: str = "ours",
+) -> ComparisonTable:
+    """Route every case with every router and collect the table.
+
+    Args:
+        cases: name -> (system, netlist).
+        routers: name -> factory; defaults to ours + every baseline.
+        reference: router to normalize against (must be in ``routers``).
+    """
+    if routers is None:
+        from repro.baselines import all_baseline_routers
+
+        routers = {"ours": SynergisticRouter}
+        routers.update(all_baseline_routers())
+    if reference not in routers:
+        raise ValueError(f"reference {reference!r} is not among the routers")
+    table = ComparisonTable(case_names=list(cases), reference=reference)
+    for router_name, factory in routers.items():
+        for case_name, (system, netlist) in cases.items():
+            start = time.perf_counter()
+            result: RoutingResult = factory(system, netlist).route()
+            runtime = time.perf_counter() - start
+            table.cells[(router_name, case_name)] = Cell(
+                critical_delay=result.critical_delay,
+                conflicts=result.conflict_count,
+                runtime=runtime,
+            )
+    return table

@@ -1,0 +1,122 @@
+"""Pre-route feasibility analysis.
+
+Cheap, *sound* checks run before routing: a reported infeasibility is a
+proof (no router can fix it); absence of findings is of course not a
+feasibility guarantee.  The core argument: every die-crossing net with a
+pin on die ``d`` must leave ``d`` over some incident edge, and each
+incident SLL edge carries at most ``cap`` distinct nets while a TDM edge
+carries unboundedly many.  A die with *no* TDM attachment therefore has a
+hard ceiling of ``Σ incident SLL capacities`` crossing nets.
+
+Warnings (not proofs) flag dies above a utilization threshold of that
+ceiling — the cases where negotiation will have to work hard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.arch.edges import EdgeKind
+from repro.arch.system import MultiFpgaSystem
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class DiePressure:
+    """Crossing-net pressure on one die.
+
+    Attributes:
+        die: the die index.
+        crossing_nets: distinct die-crossing nets with a pin on the die.
+        sll_ceiling: sum of incident SLL capacities.
+        has_tdm: whether the die has any TDM attachment (lifting the
+            ceiling).
+    """
+
+    die: int
+    crossing_nets: int
+    sll_ceiling: int
+    has_tdm: bool
+
+    @property
+    def utilization(self) -> float:
+        """crossing nets / SLL ceiling (inf when the ceiling is 0)."""
+        if self.sll_ceiling == 0:
+            return float("inf") if self.crossing_nets else 0.0
+        return self.crossing_nets / self.sll_ceiling
+
+
+@dataclass
+class FeasibilityReport:
+    """Result of the pre-route analysis.
+
+    Attributes:
+        infeasible: proofs of infeasibility (human-readable).
+        warnings: tight-but-not-proven findings.
+        pressures: the per-die raw numbers.
+    """
+
+    infeasible: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    pressures: List[DiePressure] = field(default_factory=list)
+
+    @property
+    def is_provably_infeasible(self) -> bool:
+        """True when some check constitutes an impossibility proof."""
+        return bool(self.infeasible)
+
+
+def check_feasibility(
+    system: MultiFpgaSystem,
+    netlist: Netlist,
+    warn_utilization: float = 0.8,
+) -> FeasibilityReport:
+    """Run the per-die pressure checks.
+
+    Args:
+        system: the target system.
+        netlist: the design.
+        warn_utilization: warn when a TDM-less die's pressure exceeds this
+            fraction of its ceiling.
+    """
+    netlist.validate_against(system.num_dies)
+    crossing_nets_per_die = [set() for _ in range(system.num_dies)]
+    for net in netlist.crossing_nets():
+        dies = {net.source_die, *net.sink_dies}
+        if len(dies) > 1:
+            for die in dies:
+                crossing_nets_per_die[die].add(net.index)
+
+    report = FeasibilityReport()
+    for die in range(system.num_dies):
+        sll_ceiling = 0
+        has_tdm = False
+        for edge_index, _ in system.neighbors(die):
+            edge = system.edge(edge_index)
+            if edge.kind is EdgeKind.SLL:
+                sll_ceiling += edge.capacity
+            else:
+                has_tdm = True
+        pressure = DiePressure(
+            die=die,
+            crossing_nets=len(crossing_nets_per_die[die]),
+            sll_ceiling=sll_ceiling,
+            has_tdm=has_tdm,
+        )
+        report.pressures.append(pressure)
+        if pressure.has_tdm:
+            continue  # TDM wires multiplex unboundedly: no hard ceiling
+        if pressure.crossing_nets > pressure.sll_ceiling:
+            report.infeasible.append(
+                f"die {die}: {pressure.crossing_nets} crossing nets exceed the "
+                f"{pressure.sll_ceiling} incident SLL wires and the die has "
+                f"no TDM attachment — no legal routing exists"
+            )
+        elif pressure.utilization > warn_utilization:
+            report.warnings.append(
+                f"die {die}: crossing-net pressure at "
+                f"{pressure.utilization:.0%} of its SLL ceiling "
+                f"({pressure.crossing_nets}/{pressure.sll_ceiling})"
+            )
+    return report

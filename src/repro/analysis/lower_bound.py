@@ -1,0 +1,127 @@
+"""Certified lower bounds on the critical connection delay.
+
+Sound for *any* router — useful to report honest optimality gaps at
+scales where exact enumeration is impossible.  Two arguments:
+
+* **Distance bound**: every connection must traverse at least its
+  cheapest possible path, priced optimistically (SLL hops at ``d_SLL``,
+  every TDM hop at the minimum legal ratio).  Sound unconditionally.
+* **Bisection bound** (2-FPGA systems): every cross-FPGA net must cross
+  the single FPGA boundary, whose directed wire pools are bounded by the
+  total TDM capacity.  With ``n`` nets forced across ``w`` wires, some
+  wire carries at least ``ceil(n / w)`` nets, so some net's ratio is at
+  least ``legalize(ceil(n / w))`` — and that net's delay is at least
+  ``d0 + d1 * that ratio`` plus its minimum SLL approach.  Sound because
+  with exactly two FPGAs there is no transit alternative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.arch.system import MultiFpgaSystem
+from repro.netlist.netlist import Netlist
+from repro.route.dijkstra import dijkstra_all
+from repro.route.graph import RoutingGraph
+from repro.timing.delay import DelayModel
+
+
+@dataclass(frozen=True)
+class LowerBound:
+    """A certified bound with its provenance.
+
+    Attributes:
+        value: the bound (0 when no connection exists).
+        argument: which argument produced it (``"distance"`` or
+            ``"bisection"``).
+        detail: human-readable justification.
+    """
+
+    value: float
+    argument: str
+    detail: str
+
+
+def distance_lower_bound(
+    system: MultiFpgaSystem,
+    netlist: Netlist,
+    delay_model: Optional[DelayModel] = None,
+) -> LowerBound:
+    """Max over connections of the optimistic shortest-path delay."""
+    model = delay_model if delay_model is not None else DelayModel()
+    graph = RoutingGraph(system)
+
+    def optimistic_cost(edge_index: int, frm: int, to: int) -> float:
+        if graph.is_tdm[edge_index]:
+            return model.tdm_delay(model.tdm_step)
+        return model.d_sll
+
+    best = 0.0
+    detail = "no connections"
+    cache = {}
+    for conn in netlist.connections:
+        dist = cache.get(conn.source_die)
+        if dist is None:
+            dist, _ = dijkstra_all(graph.adjacency, conn.source_die, optimistic_cost)
+            cache[conn.source_die] = dist
+        value = dist[conn.sink_die]
+        if value > best:
+            best = value
+            detail = (
+                f"connection {conn.index} (die {conn.source_die} -> "
+                f"{conn.sink_die}) needs at least {value:.2f} on its "
+                f"cheapest possible path"
+            )
+    return LowerBound(value=best, argument="distance", detail=detail)
+
+
+def bisection_lower_bound(
+    system: MultiFpgaSystem,
+    netlist: Netlist,
+    delay_model: Optional[DelayModel] = None,
+) -> Optional[LowerBound]:
+    """Boundary-congestion bound; ``None`` unless the system has 2 FPGAs."""
+    if system.num_fpgas != 2:
+        return None
+    model = delay_model if delay_model is not None else DelayModel()
+    fpga_of = [die.fpga_index for die in system.dies]
+    crossing_nets = set()
+    for net in netlist.crossing_nets():
+        fpgas = {fpga_of[net.source_die], *(fpga_of[d] for d in net.sink_dies)}
+        if len(fpgas) > 1:
+            crossing_nets.add(net.index)
+    if not crossing_nets:
+        return None
+    wires = sum(edge.capacity for edge in system.tdm_edges)
+    if wires == 0:
+        return None
+    import math
+
+    forced = math.ceil(len(crossing_nets) / wires)
+    ratio = model.legalize_ratio(max(forced, 1))
+    value = model.tdm_delay(ratio)
+    return LowerBound(
+        value=value,
+        argument="bisection",
+        detail=(
+            f"{len(crossing_nets)} nets must cross the FPGA boundary over "
+            f"{wires} wires: some wire carries >= {forced} nets, so some "
+            f"net pays ratio >= {ratio}"
+        ),
+    )
+
+
+def certified_lower_bound(
+    system: MultiFpgaSystem,
+    netlist: Netlist,
+    delay_model: Optional[DelayModel] = None,
+) -> LowerBound:
+    """The strongest available certified bound."""
+    bounds: List[LowerBound] = [
+        distance_lower_bound(system, netlist, delay_model)
+    ]
+    bisection = bisection_lower_bound(system, netlist, delay_model)
+    if bisection is not None:
+        bounds.append(bisection)
+    return max(bounds, key=lambda bound: bound.value)

@@ -1,0 +1,79 @@
+"""Netlist statistics: fanout, locality and per-die load."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.arch.system import MultiFpgaSystem
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class NetlistStats:
+    """Structural statistics of a die-level netlist.
+
+    Attributes:
+        num_nets / num_connections: raw counts.
+        intra_die_nets: nets with every pin on one die.
+        cross_fpga_connections: connections whose endpoints sit on
+            different FPGAs.
+        fanout_histogram: crossing fanout -> net count (0 = intra-die).
+        die_pin_counts: per-die number of pins (sources + sinks).
+        max_fanout: largest crossing fanout.
+    """
+
+    num_nets: int
+    num_connections: int
+    intra_die_nets: int
+    cross_fpga_connections: int
+    fanout_histogram: Dict[int, int] = field(default_factory=dict)
+    die_pin_counts: List[int] = field(default_factory=list)
+
+    @property
+    def max_fanout(self) -> int:
+        """Largest crossing fanout (0 for an all-intra-die netlist)."""
+        return max(self.fanout_histogram, default=0)
+
+    @property
+    def cross_fpga_fraction(self) -> float:
+        """Fraction of connections crossing FPGAs."""
+        if not self.num_connections:
+            return 0.0
+        return self.cross_fpga_connections / self.num_connections
+
+    def busiest_die(self) -> int:
+        """Die index with the most pins (-1 for an empty netlist)."""
+        if not self.die_pin_counts or max(self.die_pin_counts) == 0:
+            return -1
+        return max(range(len(self.die_pin_counts)), key=self.die_pin_counts.__getitem__)
+
+
+def netlist_stats(system: MultiFpgaSystem, netlist: Netlist) -> NetlistStats:
+    """Compute :class:`NetlistStats` for a netlist on a system."""
+    netlist.validate_against(system.num_dies)
+    fanouts: Dict[int, int] = {}
+    intra = 0
+    pins = [0] * system.num_dies
+    for net in netlist.nets:
+        crossing = len(net.crossing_sink_dies)
+        fanouts[crossing] = fanouts.get(crossing, 0) + 1
+        if crossing == 0:
+            intra += 1
+        pins[net.source_die] += 1
+        for sink in net.sink_dies:
+            pins[sink] += 1
+    cross_fpga = sum(
+        1
+        for conn in netlist.connections
+        if system.dies[conn.source_die].fpga_index
+        != system.dies[conn.sink_die].fpga_index
+    )
+    return NetlistStats(
+        num_nets=netlist.num_nets,
+        num_connections=netlist.num_connections,
+        intra_die_nets=intra,
+        cross_fpga_connections=cross_fpga,
+        fanout_histogram=fanouts,
+        die_pin_counts=pins,
+    )

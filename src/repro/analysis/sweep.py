@@ -1,0 +1,147 @@
+"""Parameter sweeps over the router."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.arch.system import MultiFpgaSystem
+from repro.core.config import RouterConfig
+from repro.core.router import SynergisticRouter
+from repro.netlist.netlist import Netlist
+from repro.route.metrics import ratio_distribution
+from repro.timing.delay import DelayModel
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep.
+
+    Attributes:
+        parameter: the swept value (capacity, step, or a label).
+        critical_delay: resulting objective.
+        conflict_count: SLL overflow (0 = legal).
+        max_wire_ratio: largest occupied wire ratio.
+        runtime: routing wall-clock seconds.
+    """
+
+    parameter: object
+    critical_delay: float
+    conflict_count: int
+    max_wire_ratio: int
+    runtime: float
+
+
+@dataclass
+class SweepResult:
+    """A completed sweep.
+
+    Attributes:
+        name: what was swept.
+        points: one entry per parameter value, in sweep order.
+    """
+
+    name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def legal_points(self) -> List[SweepPoint]:
+        """Points whose routing was overflow-free."""
+        return [p for p in self.points if p.conflict_count == 0]
+
+    def best(self) -> Optional[SweepPoint]:
+        """Legal point with the smallest critical delay."""
+        legal = self.legal_points()
+        return min(legal, key=lambda p: p.critical_delay) if legal else None
+
+    def as_rows(self) -> List[str]:
+        """Human-readable table rows."""
+        rows = [
+            f"{'parameter':>12s} {'delay':>9s} {'conf':>6s} "
+            f"{'max ratio':>10s} {'time(s)':>8s}"
+        ]
+        for point in self.points:
+            rows.append(
+                f"{str(point.parameter):>12s} {point.critical_delay:9.1f} "
+                f"{point.conflict_count:6d} {point.max_wire_ratio:10d} "
+                f"{point.runtime:8.2f}"
+            )
+        return rows
+
+
+def _route_point(
+    parameter: object,
+    system: MultiFpgaSystem,
+    netlist: Netlist,
+    delay_model: DelayModel,
+    config: Optional[RouterConfig],
+) -> SweepPoint:
+    start = time.perf_counter()
+    result = SynergisticRouter(system, netlist, delay_model, config).route()
+    runtime = time.perf_counter() - start
+    distribution = ratio_distribution(result.solution)
+    return SweepPoint(
+        parameter=parameter,
+        critical_delay=result.critical_delay,
+        conflict_count=result.conflict_count,
+        max_wire_ratio=distribution.max_ratio,
+        runtime=runtime,
+    )
+
+
+def sweep_tdm_capacity(
+    build_system: Callable[[int], MultiFpgaSystem],
+    netlist_for: Callable[[MultiFpgaSystem], Netlist],
+    capacities: Sequence[int],
+    delay_model: Optional[DelayModel] = None,
+    config: Optional[RouterConfig] = None,
+) -> SweepResult:
+    """Critical delay vs TDM edge capacity.
+
+    Args:
+        build_system: capacity -> system factory.
+        netlist_for: system -> netlist (lets traffic depend on the system).
+        capacities: TDM wire counts to sweep.
+    """
+    model = delay_model if delay_model is not None else DelayModel()
+    result = SweepResult(name="tdm_capacity")
+    for capacity in capacities:
+        system = build_system(capacity)
+        netlist = netlist_for(system)
+        result.points.append(_route_point(capacity, system, netlist, model, config))
+    return result
+
+
+def sweep_tdm_step(
+    system: MultiFpgaSystem,
+    netlist: Netlist,
+    steps: Sequence[int],
+    base_model: Optional[DelayModel] = None,
+    config: Optional[RouterConfig] = None,
+) -> SweepResult:
+    """Critical delay vs TDM step granularity ``p``."""
+    base = base_model if base_model is not None else DelayModel()
+    result = SweepResult(name="tdm_step")
+    for step in steps:
+        model = DelayModel(
+            d_sll=base.d_sll, d0=base.d0, d1=base.d1, tdm_step=step
+        )
+        result.points.append(_route_point(step, system, netlist, model, config))
+    return result
+
+
+def sweep_delay_models(
+    system: MultiFpgaSystem,
+    netlist: Netlist,
+    models: Dict[str, DelayModel],
+    config: Optional[RouterConfig] = None,
+) -> SweepResult:
+    """Critical delay under alternative delay-constant choices.
+
+    Supports the substitution argument of DESIGN.md §4.5: the router
+    ordering should be insensitive to the exact (unpublished) constants.
+    """
+    result = SweepResult(name="delay_models")
+    for label, model in models.items():
+        result.points.append(_route_point(label, system, netlist, model, config))
+    return result

@@ -1,0 +1,35 @@
+"""Multi-FPGA system architecture model.
+
+The architecture follows Section II-A of the paper: a multi-FPGA system is a
+set of FPGA devices, each containing several dies (SLRs).  Neighboring dies
+inside one FPGA are connected by *SLL edges* (bundles of physical super long
+lines, each wire routing at most one net, constant delay).  Dies on
+different FPGAs are connected by *TDM edges* (bundles of physical TDM wires;
+each wire can carry several nets time-multiplexed at a ratio that is a
+multiple of the TDM step).
+"""
+
+from repro.arch.edges import (
+    DirectedTdmEdge,
+    EdgeKind,
+    SllEdge,
+    TdmEdge,
+    TdmWire,
+    direction_of,
+)
+from repro.arch.system import Die, Fpga, MultiFpgaSystem
+from repro.arch.builder import FpgaHandle, SystemBuilder
+
+__all__ = [
+    "Die",
+    "DirectedTdmEdge",
+    "EdgeKind",
+    "Fpga",
+    "FpgaHandle",
+    "MultiFpgaSystem",
+    "SllEdge",
+    "SystemBuilder",
+    "TdmEdge",
+    "TdmWire",
+    "direction_of",
+]

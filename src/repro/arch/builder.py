@@ -1,0 +1,148 @@
+"""Convenience builder for multi-FPGA systems.
+
+Example::
+
+    builder = SystemBuilder()
+    a = builder.add_fpga(num_dies=4, sll_capacity=20_000)
+    b = builder.add_fpga(num_dies=4, sll_capacity=20_000)
+    builder.add_tdm_edge(a.die(3), b.die(0), capacity=200)
+    system = builder.build()
+
+``add_fpga`` creates the intra-FPGA SLL topology automatically (a chain of
+dies by default, matching the contest systems where an FPGA with 4 dies has
+3 SLL edges); pass ``topology="none"`` and use :meth:`SystemBuilder.add_sll_edge`
+for custom shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.arch.edges import SllEdge, TdmEdge
+from repro.arch.system import Die, Fpga, MultiFpgaSystem
+
+
+@dataclass(frozen=True)
+class FpgaHandle:
+    """Handle to an FPGA added to a :class:`SystemBuilder`.
+
+    Provides die-index lookup relative to the FPGA, so callers do not need
+    to track global die indices.
+    """
+
+    index: int
+    die_indices: tuple
+
+    def die(self, local_index: int) -> int:
+        """Return the global die index of the FPGA's ``local_index``-th die."""
+        return self.die_indices[local_index]
+
+    @property
+    def num_dies(self) -> int:
+        """Number of dies in this FPGA."""
+        return len(self.die_indices)
+
+
+class SystemBuilder:
+    """Incrementally constructs a :class:`MultiFpgaSystem`."""
+
+    def __init__(self) -> None:
+        self._dies: List[Die] = []
+        self._fpgas: List[Fpga] = []
+        self._sll_specs: List[tuple] = []
+        self._tdm_specs: List[tuple] = []
+
+    def add_fpga(
+        self,
+        num_dies: int,
+        sll_capacity: Union[int, Sequence[int]] = 10_000,
+        name: Optional[str] = None,
+        topology: str = "chain",
+        grid_width: Optional[int] = None,
+    ) -> FpgaHandle:
+        """Add an FPGA device with ``num_dies`` dies.
+
+        Args:
+            num_dies: number of dies (SLRs) on the device.
+            sll_capacity: capacity for each generated SLL edge; either one
+                integer for all edges or a sequence with one value per edge.
+            name: device name; defaults to ``fpga<i>``.
+            topology: ``"chain"`` connects die k to die k+1 (num_dies - 1
+                SLL edges, as in the contest systems); ``"grid"`` lays the
+                dies out row-major on a ``grid_width``-wide 2D mesh
+                (interposer-style fabrics); ``"none"`` adds no SLL edges.
+            grid_width: columns of the ``"grid"`` topology; defaults to
+                the integer square root of ``num_dies``.
+
+        Returns:
+            A handle exposing the global die indices of the new device.
+        """
+        if num_dies <= 0:
+            raise ValueError("an FPGA needs at least one die")
+        if topology not in ("chain", "grid", "none"):
+            raise ValueError(f"unknown topology {topology!r}")
+        fpga_index = len(self._fpgas)
+        fpga_name = name if name is not None else f"fpga{fpga_index}"
+        first = len(self._dies)
+        die_indices = tuple(range(first, first + num_dies))
+        for local, global_index in enumerate(die_indices):
+            self._dies.append(
+                Die(index=global_index, fpga_index=fpga_index, name=f"{fpga_name}.die{local}")
+            )
+        self._fpgas.append(Fpga(index=fpga_index, name=fpga_name, die_indices=die_indices))
+        if topology == "chain" and num_dies > 1:
+            num_edges = num_dies - 1
+            capacities = self._expand_capacities(sll_capacity, num_edges)
+            for k in range(num_edges):
+                self._sll_specs.append((die_indices[k], die_indices[k + 1], capacities[k]))
+        elif topology == "grid" and num_dies > 1:
+            pairs = self._grid_pairs(num_dies, grid_width)
+            capacities = self._expand_capacities(sll_capacity, len(pairs))
+            for (a, b), capacity in zip(pairs, capacities):
+                self._sll_specs.append((die_indices[a], die_indices[b], capacity))
+        return FpgaHandle(index=fpga_index, die_indices=die_indices)
+
+    @staticmethod
+    def _grid_pairs(num_dies: int, grid_width: Optional[int]) -> List[tuple]:
+        """Local die-index pairs of a row-major 2D mesh."""
+        if grid_width is None:
+            grid_width = max(1, int(num_dies**0.5))
+        if grid_width <= 0:
+            raise ValueError("grid_width must be positive")
+        pairs = []
+        for die in range(num_dies):
+            row, col = divmod(die, grid_width)
+            if col + 1 < grid_width and die + 1 < num_dies:
+                pairs.append((die, die + 1))
+            if die + grid_width < num_dies:
+                pairs.append((die, die + grid_width))
+        return pairs
+
+    def add_sll_edge(self, die_a: int, die_b: int, capacity: int) -> None:
+        """Add an SLL edge between two dies of the same FPGA."""
+        lo, hi = min(die_a, die_b), max(die_a, die_b)
+        self._sll_specs.append((lo, hi, capacity))
+
+    def add_tdm_edge(self, die_a: int, die_b: int, capacity: int) -> None:
+        """Add a TDM edge between two dies of different FPGAs."""
+        lo, hi = min(die_a, die_b), max(die_a, die_b)
+        self._tdm_specs.append((lo, hi, capacity))
+
+    def build(self) -> MultiFpgaSystem:
+        """Validate and return the immutable system."""
+        edges: List[Union[SllEdge, TdmEdge]] = []
+        for die_a, die_b, capacity in self._sll_specs:
+            edges.append(SllEdge(index=len(edges), die_a=die_a, die_b=die_b, capacity=capacity))
+        for die_a, die_b, capacity in self._tdm_specs:
+            edges.append(TdmEdge(index=len(edges), die_a=die_a, die_b=die_b, capacity=capacity))
+        return MultiFpgaSystem(dies=self._dies, fpgas=self._fpgas, edges=edges)
+
+    @staticmethod
+    def _expand_capacities(capacity: Union[int, Sequence[int]], count: int) -> List[int]:
+        if isinstance(capacity, int):
+            return [capacity] * count
+        capacities = list(capacity)
+        if len(capacities) != count:
+            raise ValueError(f"expected {count} SLL capacities, got {len(capacities)}")
+        return capacities

@@ -1,0 +1,189 @@
+"""Edge types of the die-level routing graph.
+
+Two kinds of edges exist in a die-level multi-FPGA system:
+
+* :class:`SllEdge` -- a bundle of physical super long lines between two
+  neighboring dies of the *same* FPGA.  Each physical SLL wire routes at
+  most one net, so the number of nets on the edge may never exceed its
+  capacity.  Every SLL wire has the same constant delay ``d_SLL``.
+* :class:`TdmEdge` -- a bundle of physical time-division-multiplexed wires
+  between two dies of *different* FPGAs.  A physical TDM wire may carry any
+  number of nets; its TDM ratio must be a multiple of the TDM step and at
+  least its demand, and its delay is ``d0 + d1 * ratio``.  A physical TDM
+  wire carries signals in a single direction only.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+class EdgeKind(enum.Enum):
+    """Kind of a die-to-die edge."""
+
+    SLL = "sll"
+    TDM = "tdm"
+
+
+def direction_of(edge_die_a: int, edge_die_b: int, from_die: int, to_die: int) -> int:
+    """Return the direction bit of traversing an edge from one die to another.
+
+    Direction ``0`` is the canonical orientation ``die_a -> die_b`` (with
+    ``die_a < die_b`` as stored on the edge); direction ``1`` is the reverse.
+
+    Raises:
+        ValueError: if ``(from_die, to_die)`` is not an orientation of the
+            edge.
+    """
+    if from_die == edge_die_a and to_die == edge_die_b:
+        return 0
+    if from_die == edge_die_b and to_die == edge_die_a:
+        return 1
+    raise ValueError(
+        f"({from_die}, {to_die}) is not an orientation of edge "
+        f"({edge_die_a}, {edge_die_b})"
+    )
+
+
+@dataclass(frozen=True)
+class SllEdge:
+    """A super-long-line edge between two dies of the same FPGA.
+
+    Attributes:
+        index: global edge index within the system (shared numbering with
+            TDM edges).
+        die_a: smaller die index of the two endpoints.
+        die_b: larger die index of the two endpoints.
+        capacity: number of physical SLL wires (``cap_e``); the maximum
+            number of nets the edge can route.
+    """
+
+    index: int
+    die_a: int
+    die_b: int
+    capacity: int
+
+    kind = EdgeKind.SLL
+
+    def __post_init__(self) -> None:
+        if self.die_a >= self.die_b:
+            raise ValueError("SllEdge endpoints must satisfy die_a < die_b")
+        if self.capacity <= 0:
+            raise ValueError("SllEdge capacity must be positive")
+
+    @property
+    def dies(self) -> Tuple[int, int]:
+        """The two endpoint die indices ``(die_a, die_b)``."""
+        return (self.die_a, self.die_b)
+
+    def other(self, die: int) -> int:
+        """Return the endpoint opposite to ``die``."""
+        if die == self.die_a:
+            return self.die_b
+        if die == self.die_b:
+            return self.die_a
+        raise ValueError(f"die {die} is not an endpoint of edge {self.index}")
+
+
+@dataclass(frozen=True)
+class TdmEdge:
+    """A TDM edge between two dies on different FPGAs.
+
+    Attributes:
+        index: global edge index within the system (shared numbering with
+            SLL edges).
+        die_a: smaller die index of the two endpoints.
+        die_b: larger die index of the two endpoints.
+        capacity: number of physical TDM wires (``cap_e``).
+    """
+
+    index: int
+    die_a: int
+    die_b: int
+    capacity: int
+
+    kind = EdgeKind.TDM
+
+    def __post_init__(self) -> None:
+        if self.die_a >= self.die_b:
+            raise ValueError("TdmEdge endpoints must satisfy die_a < die_b")
+        if self.capacity <= 1:
+            # One wire per direction is the minimum useful TDM edge; the
+            # LR formulation reserves one wire (cap_e - 1), so cap >= 2.
+            raise ValueError("TdmEdge capacity must be at least 2")
+
+    @property
+    def dies(self) -> Tuple[int, int]:
+        """The two endpoint die indices ``(die_a, die_b)``."""
+        return (self.die_a, self.die_b)
+
+    def other(self, die: int) -> int:
+        """Return the endpoint opposite to ``die``."""
+        if die == self.die_a:
+            return self.die_b
+        if die == self.die_b:
+            return self.die_a
+        raise ValueError(f"die {die} is not an endpoint of edge {self.index}")
+
+    def directed(self, direction: int) -> "DirectedTdmEdge":
+        """Return the directed view of this edge for ``direction`` (0 or 1)."""
+        return DirectedTdmEdge(self, direction)
+
+
+@dataclass(frozen=True)
+class DirectedTdmEdge:
+    """One direction of a bidirectional TDM edge.
+
+    Physical TDM wires are unidirectional, so ratio legalization and wire
+    assignment operate per directed edge.  Direction ``0`` runs from
+    ``die_a`` to ``die_b``; direction ``1`` the reverse.
+    """
+
+    edge: TdmEdge
+    direction: int
+
+    def __post_init__(self) -> None:
+        if self.direction not in (0, 1):
+            raise ValueError("direction must be 0 or 1")
+
+    @property
+    def source_die(self) -> int:
+        """Die the signals leave from."""
+        return self.edge.die_a if self.direction == 0 else self.edge.die_b
+
+    @property
+    def target_die(self) -> int:
+        """Die the signals arrive at."""
+        return self.edge.die_b if self.direction == 0 else self.edge.die_a
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """Hashable key ``(edge index, direction)``."""
+        return (self.edge.index, self.direction)
+
+
+@dataclass
+class TdmWire:
+    """A physical TDM wire with its assigned ratio and nets.
+
+    Produced by the wire-assignment phase.  The invariants (checked by the
+    DRC) are: ``ratio`` is a positive multiple of the TDM step, the number
+    of assigned nets (the *demand*) never exceeds ``ratio``, and all nets
+    travel in the wire's single direction.
+    """
+
+    edge_index: int
+    direction: int
+    ratio: int
+    net_indices: List[int] = field(default_factory=list)
+
+    @property
+    def demand(self) -> int:
+        """Number of nets carried by this wire."""
+        return len(self.net_indices)
+
+    def add_net(self, net_index: int) -> None:
+        """Assign ``net_index`` to this wire."""
+        self.net_indices.append(net_index)

@@ -1,0 +1,232 @@
+"""The multi-FPGA system: dies, FPGAs and the die-level connection graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.arch.edges import EdgeKind, SllEdge, TdmEdge
+
+Edge = Union[SllEdge, TdmEdge]
+
+
+@dataclass(frozen=True)
+class Die:
+    """A single die (SLR) of an FPGA device.
+
+    Attributes:
+        index: global die index within the system.
+        fpga_index: index of the FPGA device containing this die.
+        name: human-readable name (unique within the system).
+    """
+
+    index: int
+    fpga_index: int
+    name: str
+
+
+@dataclass(frozen=True)
+class Fpga:
+    """An FPGA device containing several dies.
+
+    Attributes:
+        index: index of this FPGA in the system.
+        name: human-readable name.
+        die_indices: global indices of the dies it contains.
+    """
+
+    index: int
+    name: str
+    die_indices: Tuple[int, ...]
+
+    @property
+    def num_dies(self) -> int:
+        """Number of dies in this device."""
+        return len(self.die_indices)
+
+
+class MultiFpgaSystem:
+    """A die-level multi-FPGA system.
+
+    The system is an undirected graph whose vertices are dies and whose
+    edges are SLL edges (within one FPGA) and TDM edges (across FPGAs).
+    Instances are immutable after construction; use
+    :class:`repro.arch.builder.SystemBuilder` to create them conveniently.
+
+    Args:
+        dies: all dies, ordered by ``Die.index`` (0..n-1).
+        fpgas: all FPGA devices, ordered by ``Fpga.index``.
+        edges: all edges with contiguous global indices (0..m-1).
+
+    Raises:
+        ValueError: on inconsistent indexing, SLL edges across FPGAs, TDM
+            edges within one FPGA, parallel edges, or a disconnected system.
+    """
+
+    def __init__(
+        self,
+        dies: Sequence[Die],
+        fpgas: Sequence[Fpga],
+        edges: Sequence[Edge],
+    ) -> None:
+        self._dies: Tuple[Die, ...] = tuple(dies)
+        self._fpgas: Tuple[Fpga, ...] = tuple(fpgas)
+        self._edges: Tuple[Edge, ...] = tuple(edges)
+        self._validate_indices()
+        self._validate_edge_placement()
+        self._adjacency: List[List[Tuple[int, int]]] = self._build_adjacency()
+        self._edge_by_dies: Dict[Tuple[int, int], int] = {
+            edge.dies: edge.index for edge in self._edges
+        }
+        if len(self._edge_by_dies) != len(self._edges):
+            raise ValueError("parallel edges between the same die pair")
+        self._validate_connectivity()
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def dies(self) -> Tuple[Die, ...]:
+        """All dies, indexed by ``Die.index``."""
+        return self._dies
+
+    @property
+    def fpgas(self) -> Tuple[Fpga, ...]:
+        """All FPGA devices, indexed by ``Fpga.index``."""
+        return self._fpgas
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """All edges (SLL and TDM), indexed by their global edge index."""
+        return self._edges
+
+    @property
+    def num_dies(self) -> int:
+        """Number of dies in the system (``||V||`` in the paper)."""
+        return len(self._dies)
+
+    @property
+    def num_fpgas(self) -> int:
+        """Number of FPGA devices."""
+        return len(self._fpgas)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges (SLL + TDM)."""
+        return len(self._edges)
+
+    @property
+    def sll_edges(self) -> List[SllEdge]:
+        """All SLL edges."""
+        return [e for e in self._edges if e.kind is EdgeKind.SLL]
+
+    @property
+    def tdm_edges(self) -> List[TdmEdge]:
+        """All TDM edges."""
+        return [e for e in self._edges if e.kind is EdgeKind.TDM]
+
+    def edge(self, index: int) -> Edge:
+        """Return the edge with global index ``index``."""
+        return self._edges[index]
+
+    def die(self, index: int) -> Die:
+        """Return the die with global index ``index``."""
+        return self._dies[index]
+
+    def fpga_of(self, die_index: int) -> Fpga:
+        """Return the FPGA device containing die ``die_index``."""
+        return self._fpgas[self._dies[die_index].fpga_index]
+
+    def neighbors(self, die_index: int) -> List[Tuple[int, int]]:
+        """Return ``(edge_index, other_die)`` pairs adjacent to a die."""
+        return self._adjacency[die_index]
+
+    def edge_between(self, die_a: int, die_b: int) -> Optional[Edge]:
+        """Return the edge between two dies, or ``None`` if not adjacent."""
+        key = (min(die_a, die_b), max(die_a, die_b))
+        index = self._edge_by_dies.get(key)
+        return None if index is None else self._edges[index]
+
+    def total_sll_wires(self) -> int:
+        """Total number of physical SLL wires in the system."""
+        return sum(e.capacity for e in self.sll_edges)
+
+    def total_tdm_wires(self) -> int:
+        """Total number of physical TDM wires in the system."""
+        return sum(e.capacity for e in self.tdm_edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiFpgaSystem(fpgas={self.num_fpgas}, dies={self.num_dies}, "
+            f"sll_edges={len(self.sll_edges)}, tdm_edges={len(self.tdm_edges)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate_indices(self) -> None:
+        for i, die in enumerate(self._dies):
+            if die.index != i:
+                raise ValueError(f"die at position {i} has index {die.index}")
+            if not 0 <= die.fpga_index < len(self._fpgas):
+                raise ValueError(f"die {i} references unknown FPGA {die.fpga_index}")
+        for i, fpga in enumerate(self._fpgas):
+            if fpga.index != i:
+                raise ValueError(f"FPGA at position {i} has index {fpga.index}")
+            for die_index in fpga.die_indices:
+                if self._dies[die_index].fpga_index != i:
+                    raise ValueError(
+                        f"FPGA {i} lists die {die_index} which belongs to "
+                        f"FPGA {self._dies[die_index].fpga_index}"
+                    )
+        names = {die.name for die in self._dies}
+        if len(names) != len(self._dies):
+            raise ValueError("die names must be unique")
+        for i, edge in enumerate(self._edges):
+            if edge.index != i:
+                raise ValueError(f"edge at position {i} has index {edge.index}")
+            for die_index in edge.dies:
+                if not 0 <= die_index < len(self._dies):
+                    raise ValueError(f"edge {i} references unknown die {die_index}")
+
+    def _validate_edge_placement(self) -> None:
+        for edge in self._edges:
+            fpga_a = self._dies[edge.die_a].fpga_index
+            fpga_b = self._dies[edge.die_b].fpga_index
+            if edge.kind is EdgeKind.SLL and fpga_a != fpga_b:
+                raise ValueError(
+                    f"SLL edge {edge.index} crosses FPGAs {fpga_a} and {fpga_b}"
+                )
+            if edge.kind is EdgeKind.TDM and fpga_a == fpga_b:
+                raise ValueError(
+                    f"TDM edge {edge.index} connects dies of the same FPGA {fpga_a}"
+                )
+
+    def _build_adjacency(self) -> List[List[Tuple[int, int]]]:
+        adjacency: List[List[Tuple[int, int]]] = [[] for _ in self._dies]
+        for edge in self._edges:
+            adjacency[edge.die_a].append((edge.index, edge.die_b))
+            adjacency[edge.die_b].append((edge.index, edge.die_a))
+        return adjacency
+
+    def _validate_connectivity(self) -> None:
+        if not self._dies:
+            raise ValueError("system has no dies")
+        seen = {0}
+        stack = [0]
+        while stack:
+            die = stack.pop()
+            for _, other in self._adjacency[die]:
+                if other not in seen:
+                    seen.add(other)
+                    stack.append(other)
+        if len(seen) != len(self._dies):
+            missing = sorted(set(range(len(self._dies))) - seen)
+            raise ValueError(f"system graph is disconnected; unreachable dies {missing}")
+
+
+def iter_directed_tdm_edges(system: MultiFpgaSystem) -> Iterable[Tuple[int, int]]:
+    """Yield ``(edge_index, direction)`` for every directed TDM edge."""
+    for edge in system.tdm_edges:
+        yield (edge.index, 0)
+        yield (edge.index, 1)

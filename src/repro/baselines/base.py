@@ -1,0 +1,100 @@
+"""Shared plumbing for the baseline routers."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.system import MultiFpgaSystem
+from repro.core.incidence import TdmIncidence
+from repro.core.router import PhaseTimes, RoutingResult
+from repro.netlist.netlist import Netlist
+from repro.route.solution import RoutingSolution
+from repro.timing.analysis import TimingAnalyzer
+from repro.timing.delay import DelayModel
+
+
+def finish_result(
+    system: MultiFpgaSystem,
+    netlist: Netlist,
+    delay_model: DelayModel,
+    solution: RoutingSolution,
+    phase_times: PhaseTimes,
+) -> RoutingResult:
+    """Evaluate a completed solution into a :class:`RoutingResult`."""
+    timing = TimingAnalyzer(system, netlist, delay_model).analyze(solution)
+    return RoutingResult(
+        solution=solution,
+        critical_delay=timing.critical_delay,
+        conflict_count=solution.conflict_count(),
+        phase_times=phase_times,
+        timing=timing,
+    )
+
+
+def split_directions(
+    incidence: TdmIncidence, edge_index: int, capacity: int
+) -> Dict[int, Tuple[List[int], int]]:
+    """Split a TDM edge's wires between its directions by demand.
+
+    Returns:
+        ``{direction: (pair_indices, wire_budget)}`` for directions that
+        carry nets.  Budgets are at least 1 and sum to at most ``capacity``.
+
+    Raises:
+        ValueError: if the edge carries nets in both directions but has
+            fewer than 2 wires.
+    """
+    groups = {
+        direction: incidence.pairs_of_directed_edge(edge_index, direction)
+        for direction in (0, 1)
+    }
+    active = {d: p for d, p in groups.items() if p}
+    if not active:
+        return {}
+    if len(active) == 1:
+        direction, pairs = next(iter(active.items()))
+        return {direction: (pairs, capacity)}
+    n0 = len(groups[0])
+    n1 = len(groups[1])
+    if capacity < 2:
+        raise ValueError(
+            f"TDM edge {edge_index} needs both directions but has capacity "
+            f"{capacity}"
+        )
+    budget0 = min(capacity - 1, max(1, round(capacity * n0 / (n0 + n1))))
+    return {0: (groups[0], budget0), 1: (groups[1], capacity - budget0)}
+
+
+def topology_criticality(
+    incidence: TdmIncidence, assumed_ratios: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Per-pair criticality of a topology under assumed ratios.
+
+    Baseline TDM assigners need an ordering of nets by how critical their
+    connections are before final ratios exist; by default every TDM hop is
+    scored at the minimum legal ratio, so the criticality reflects path
+    shape (SLL hops + TDM hop count).
+    """
+    if assumed_ratios is None:
+        assumed_ratios = np.full(
+            incidence.num_pairs, float(incidence.delay_model.tdm_step)
+        )
+    delays = incidence.connection_delays(assumed_ratios)
+    return incidence.pair_criticality(delays)
+
+
+def even_chunk_sizes(num_items: int, num_chunks: int) -> List[int]:
+    """Sizes of ``num_chunks`` near-equal chunks covering ``num_items``."""
+    if num_chunks <= 0:
+        raise ValueError("num_chunks must be positive")
+    base = num_items // num_chunks
+    extra = num_items % num_chunks
+    return [base + (1 if i < extra else 0) for i in range(num_chunks)]
+
+
+def wires_needed(num_nets: int, ratio: int) -> int:
+    """Wires needed to carry ``num_nets`` at a fixed ratio."""
+    return math.ceil(num_nets / ratio) if num_nets else 0

@@ -1,0 +1,60 @@
+"""The [18] proxy: Steiner + maze usage-minimizing routing with DP TDM.
+
+Huang et al. (ISEDA 2024) combine a minimum Steiner tree algorithm for
+multi-fanout nets with maze routing for two-pin nets, minimizing the
+*total usage* of SLL and TDM edges, and assign TDM ratios per edge with
+dynamic programming.  The paper's critique — which this proxy reproduces —
+is that usage-minimizing initial routing inflates the delay of critical
+connections, and the DP does not scale.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.arch.system import MultiFpgaSystem
+from repro.baselines.base import finish_result
+from repro.baselines.dp_tdm import DpTdmAssigner
+from repro.baselines.steiner_router import SteinerRouterConfig, SteinerTopologyRouter
+from repro.core.router import PhaseTimes, RoutingResult
+from repro.netlist.netlist import Netlist
+from repro.timing.delay import DelayModel
+
+
+class Iseda2024Router:
+    """Usage-minimizing topology + per-edge DP ratio assignment."""
+
+    name = "iseda2024"
+
+    def __init__(
+        self,
+        system: MultiFpgaSystem,
+        netlist: Netlist,
+        delay_model: Optional[DelayModel] = None,
+    ) -> None:
+        self.system = system
+        self.netlist = netlist
+        self.delay_model = delay_model if delay_model is not None else DelayModel()
+
+    def route(self) -> RoutingResult:
+        """Run the full [18]-style flow."""
+        times = PhaseTimes()
+        start = time.perf_counter()
+        # Maze routing for 2-pin nets is exactly the degenerate Steiner
+        # case (one terminal), so one engine covers both.
+        topology_router = SteinerTopologyRouter(
+            self.system,
+            self.netlist,
+            self.delay_model,
+            SteinerRouterConfig(),
+        )
+        solution = topology_router.route()
+        times.initial_routing = time.perf_counter() - start
+
+        start = time.perf_counter()
+        DpTdmAssigner(self.system, self.netlist, self.delay_model).assign(solution)
+        times.legalization_wire_assignment = time.perf_counter() - start
+        return finish_result(
+            self.system, self.netlist, self.delay_model, solution, times
+        )

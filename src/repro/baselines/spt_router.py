@@ -1,0 +1,123 @@
+"""Shortest-path-tree topology router (Fig. 4(b)'s alternative).
+
+Every connection independently takes its delay-cheapest path, giving the
+smallest possible per-connection delay at the price of higher edge usage —
+multi-fanout nets fan out into many parallel paths instead of sharing a
+tree.  SLL overflow is negotiated away PathFinder-style.  This is the
+topology engine of the "1st winner" proxy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.arch.system import MultiFpgaSystem
+from repro.core.pathfinder import NegotiationState
+from repro.netlist.netlist import Netlist
+from repro.route.dijkstra import dijkstra_path
+from repro.route.graph import RoutingGraph
+from repro.route.solution import RoutingSolution
+from repro.timing.delay import DelayModel
+
+
+@dataclass
+class SptRouterConfig:
+    """Knobs of the shortest-path-tree router.
+
+    Attributes:
+        max_reroute_iterations: negotiation rounds on SLL overflow.
+        history_increment: history bump per overflow round.
+        present_penalty: cost multiplier per unit of prospective overuse.
+        tdm_demand_weight: weight of the demand/capacity term on TDM edges
+            (keeps ratios from piling onto one edge).
+    """
+
+    max_reroute_iterations: int = 30
+    history_increment: float = 4.0
+    present_penalty: float = 4.0
+    tdm_demand_weight: float = 1.0
+
+
+class SptTopologyRouter:
+    """Routes every connection on its own delay-cheapest path."""
+
+    def __init__(
+        self,
+        system: MultiFpgaSystem,
+        netlist: Netlist,
+        delay_model: Optional[DelayModel] = None,
+        config: Optional[SptRouterConfig] = None,
+    ) -> None:
+        self.system = system
+        self.netlist = netlist
+        self.delay_model = delay_model if delay_model is not None else DelayModel()
+        self.config = config if config is not None else SptRouterConfig()
+        self.negotiation_rounds = 0
+
+    def route(self) -> RoutingSolution:
+        """Produce the routed topology."""
+        graph = RoutingGraph(self.system)
+        state = NegotiationState(graph)
+        history = [0.0] * graph.num_edges
+        cfg = self.config
+        model = self.delay_model
+        min_tdm = model.min_tdm_delay
+
+        def edge_cost(edge_index: int, frm: int, to: int) -> float:
+            demand = state.demand[edge_index]
+            capacity = graph.capacity[edge_index]
+            if graph.is_tdm[edge_index]:
+                # Optimistic delay cost plus a mild demand spreader.
+                return (
+                    min_tdm
+                    + cfg.tdm_demand_weight * demand / capacity
+                    + history[edge_index]
+                )
+            cost = model.d_sll + history[edge_index]
+            overuse = demand + 1 - capacity
+            if overuse > 0:
+                cost *= 1.0 + cfg.present_penalty * overuse
+            return cost
+
+        paths: List[Optional[List[int]]] = [None] * self.netlist.num_connections
+
+        def route_connection(conn_index: int) -> None:
+            conn = self.netlist.connections[conn_index]
+            path = dijkstra_path(
+                graph.adjacency, conn.source_die, conn.sink_die, edge_cost
+            )
+            if path is None:
+                raise RuntimeError(f"connection {conn_index} unroutable")
+            paths[conn_index] = path
+            state.add_path(conn.net_index, path)
+
+        for conn in self.netlist.connections:
+            route_connection(conn.index)
+
+        for round_index in range(cfg.max_reroute_iterations):
+            overflowed = state.overflowed_sll_edges()
+            if not overflowed:
+                break
+            self.negotiation_rounds = round_index + 1
+            for edge_index in overflowed:
+                history[edge_index] += cfg.history_increment
+            victims = state.nets_on_edges(overflowed)
+            victim_conns = sorted(
+                conn_index
+                for net_index in victims
+                for conn_index in self.netlist.connection_indices_of(net_index)
+                if paths[conn_index] is not None
+            )
+            for conn_index in victim_conns:
+                conn = self.netlist.connections[conn_index]
+                state.remove_path(conn.net_index, paths[conn_index])
+                paths[conn_index] = None
+            for conn_index in victim_conns:
+                route_connection(conn_index)
+
+        solution = RoutingSolution(self.system, self.netlist)
+        for conn_index, path in enumerate(paths):
+            if path is not None:
+                solution.set_path(conn_index, path)
+        return solution

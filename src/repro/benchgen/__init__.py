@@ -1,0 +1,31 @@
+"""Synthetic contest benchmark suite.
+
+The 2023 die-level routing contest cases themselves are not redistributable
+(dead download links; see DESIGN.md substitution 1), so this package
+generates systems and netlists whose *published statistics* (Table II:
+FPGAs, dies, SLL/TDM edges and wires, nets, connections) match each case,
+with deterministic seeds.  A global scale factor shrinks net counts *and*
+wire capacities together, preserving the demand/capacity ratios the
+algorithms key on while keeping pure-Python runtimes tractable.
+"""
+
+from repro.benchgen.generator import BenchmarkSpec, GeneratedCase, generate_case
+from repro.benchgen.contest_suite import (
+    CONTEST_CASES,
+    DEFAULT_SCALES,
+    case_names,
+    load_case,
+)
+from repro.benchgen.revisions import RevisionSpec, revise_netlist
+
+__all__ = [
+    "BenchmarkSpec",
+    "CONTEST_CASES",
+    "DEFAULT_SCALES",
+    "GeneratedCase",
+    "RevisionSpec",
+    "case_names",
+    "generate_case",
+    "load_case",
+    "revise_netlist",
+]

@@ -1,0 +1,108 @@
+"""The 10 contest cases of Table II, with per-case default scales.
+
+Full-scale statistics (``scale=1.0``) match the published Table II row for
+each case.  The *default* scales shrink the large cases so that the pure
+Python reproduction completes in minutes (calibration band repro=3); pass
+``scale=1.0`` to :func:`load_case` to generate the full-size instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.benchgen.generator import BenchmarkSpec, GeneratedCase, generate_case
+
+#: Table II, one spec per contest case (wire/net/connection totals as
+#: published; K = exact thousands as printed in the paper).
+CONTEST_CASES: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        BenchmarkSpec("case01", num_fpgas=2, sll_wires_total=122_000,
+                      num_tdm_edges=2, tdm_wires_total=400,
+                      num_nets=5, num_connections=5, seed=101),
+        BenchmarkSpec("case02", num_fpgas=2, sll_wires_total=122_000,
+                      num_tdm_edges=2, tdm_wires_total=400,
+                      num_nets=86, num_connections=155, seed=102),
+        BenchmarkSpec("case03", num_fpgas=2, sll_wires_total=122_000,
+                      num_tdm_edges=2, tdm_wires_total=20,
+                      num_nets=84, num_connections=154, seed=103),
+        BenchmarkSpec("case04", num_fpgas=2, sll_wires_total=122_000,
+                      num_tdm_edges=2, tdm_wires_total=40,
+                      num_nets=449, num_connections=577, seed=104),
+        BenchmarkSpec("case05", num_fpgas=3, sll_wires_total=183_000,
+                      num_tdm_edges=3, tdm_wires_total=440,
+                      num_nets=5_000, num_connections=5_000, seed=105),
+        BenchmarkSpec("case06", num_fpgas=3, sll_wires_total=183_000,
+                      num_tdm_edges=14, tdm_wires_total=10_000,
+                      num_nets=145_000, num_connections=281_000, seed=106),
+        BenchmarkSpec("case07", num_fpgas=4, sll_wires_total=244_000,
+                      num_tdm_edges=15, tdm_wires_total=9_000,
+                      num_nets=76_000, num_connections=118_000, seed=107),
+        BenchmarkSpec("case08", num_fpgas=4, sll_wires_total=244_000,
+                      num_tdm_edges=15, tdm_wires_total=7_000,
+                      num_nets=86_000, num_connections=146_000, seed=108),
+        BenchmarkSpec("case09", num_fpgas=4, sll_wires_total=244_000,
+                      num_tdm_edges=21, tdm_wires_total=142_000,
+                      num_nets=871_000, num_connections=183_000, seed=109),
+        BenchmarkSpec("case10", num_fpgas=5, sll_wires_total=305_000,
+                      num_tdm_edges=19, tdm_wires_total=75_000,
+                      num_nets=3_324_000, num_connections=7_279_000, seed=110),
+    ]
+}
+
+#: Default scale per case: small cases run full size; large ones shrink so
+#: the whole Table III sweep stays laptop-friendly in pure Python.
+DEFAULT_SCALES: Dict[str, float] = {
+    "case01": 1.0,
+    "case02": 1.0,
+    "case03": 1.0,
+    "case04": 1.0,
+    "case05": 1.0,
+    "case06": 1.0 / 16,
+    "case07": 1.0 / 8,
+    "case08": 1.0 / 8,
+    "case09": 1.0 / 16,
+    "case10": 1.0 / 256,
+}
+
+#: Per-case SLL wire scale overrides.  The synthetic traffic profile only
+#: approximates the unpublished contest traffic, so the SLL capacity is
+#: calibrated separately where needed to land in the same utilization
+#: regime (tight but feasible) as the original case.
+SLL_SCALE_OVERRIDES: Dict[str, float] = {
+    "case09": 0.045,
+    "case10": 0.075,
+}
+
+
+def case_names() -> List[str]:
+    """The case names in contest order."""
+    return sorted(CONTEST_CASES)
+
+
+def load_case(name: str, scale: Optional[float] = None) -> GeneratedCase:
+    """Generate one contest case.
+
+    Args:
+        name: ``"case01"`` .. ``"case10"`` (or bare numbers ``"1"``..``"10"``).
+        scale: override the per-case default scale (1.0 = full Table II
+            size).
+
+    Returns:
+        The generated case.
+    """
+    key = name
+    if key not in CONTEST_CASES:
+        try:
+            key = f"case{int(name):02d}"
+        except (TypeError, ValueError):
+            pass
+    if key not in CONTEST_CASES:
+        raise KeyError(f"unknown contest case {name!r}; valid: {case_names()}")
+    spec = CONTEST_CASES[key]
+    if scale is None:
+        scale = DEFAULT_SCALES[key]
+        sll_scale = SLL_SCALE_OVERRIDES.get(key, scale)
+    else:
+        sll_scale = max(scale, SLL_SCALE_OVERRIDES.get(key, scale))
+    return generate_case(spec, scale=scale, sll_scale=sll_scale)

@@ -1,0 +1,7 @@
+"""Command-line entry points.
+
+* ``repro-route`` — route a case file (or a generated contest case) and
+  write the solution.
+* ``repro-eval`` — independently evaluate a solution file: DRC + timing.
+* ``repro-gen`` — generate contest-suite case files.
+"""

@@ -1,0 +1,201 @@
+"""``repro-route``: route a case and report/emit the solution."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.benchgen import load_case
+from repro.core.router import SynergisticRouter
+from repro.core.config import RouterConfig
+from repro.drc import DesignRuleChecker
+from repro.io import parse_case_file, write_solution_file
+from repro.timing.delay import DelayModel
+from repro import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-route`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-route",
+        description=(
+            "Synergistic die-level router for multi-FPGA systems "
+            "(DAC 2025 reproduction)."
+        ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--case-file", help="path to a case file")
+    source.add_argument(
+        "--contest-case",
+        help="generate a contest case by name (case01..case10) or number",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="scale override for --contest-case (1.0 = full Table II size)",
+    )
+    parser.add_argument("--output", "-o", help="write the solution to this file")
+    parser.add_argument(
+        "--router",
+        default="ours",
+        help="router to run: ours, portfolio, winner1, winner2, winner3, "
+        "iseda2024, adapted-fpga-level",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="threads for phase II (paper uses 10 above 200k nets)",
+    )
+    parser.add_argument(
+        "--drc", action="store_true", help="run the design-rule checker afterwards"
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="print the full utilization/timing report",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="write the solution (and any generated case) as JSON",
+    )
+    parser.add_argument(
+        "--summary-json",
+        metavar="PATH",
+        help="write a machine-readable result summary to this JSON file",
+    )
+    parser.add_argument(
+        "--svg",
+        metavar="PATH",
+        help="render the system with live utilization to this SVG file",
+    )
+    parser.add_argument(
+        "--html",
+        metavar="PATH",
+        help="write a self-contained HTML report to this file",
+    )
+    parser.add_argument(
+        "--precheck",
+        action="store_true",
+        help="run the feasibility analysis first; abort on an impossibility proof",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the per-phase report"
+    )
+    return parser
+
+
+def _resolve_router(name: str):
+    if name in ("ours", "portfolio"):
+        return None  # handled by the main path
+    from repro.baselines import all_baseline_routers
+
+    routers = all_baseline_routers()
+    if name not in routers:
+        choices = ["ours", "portfolio"] + sorted(routers)
+        raise SystemExit(f"unknown router {name!r}; choose from {choices}")
+    return routers[name]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.case_file:
+        system, netlist, delay_model = parse_case_file(args.case_file)
+    else:
+        case = load_case(args.contest_case, scale=args.scale)
+        system, netlist = case.system, case.netlist
+        delay_model = DelayModel()
+
+    if args.precheck:
+        from repro.analysis import check_feasibility
+
+        feasibility = check_feasibility(system, netlist)
+        for line in feasibility.warnings:
+            print(f"warning: {line}")
+        if feasibility.is_provably_infeasible:
+            for line in feasibility.infeasible:
+                print(f"INFEASIBLE: {line}")
+            return 2
+
+    baseline_cls = _resolve_router(args.router)
+    if args.router == "portfolio":
+        from repro.core.portfolio import PortfolioRouter, default_portfolio
+
+        config = RouterConfig(num_workers=args.workers)
+        outcome = PortfolioRouter(
+            system, netlist, delay_model, default_portfolio(config)
+        ).route()
+        result = outcome.best
+        if not args.quiet:
+            for row in outcome.table():
+                print(f"  {row}")
+    elif baseline_cls is None:
+        config = RouterConfig(num_workers=args.workers)
+        result = SynergisticRouter(system, netlist, delay_model, config).route()
+    else:
+        result = baseline_cls(system, netlist, delay_model).route()
+
+    if not args.quiet:
+        print(f"router             : {args.router}")
+        print(f"nets / connections : {netlist.num_nets} / {netlist.num_connections}")
+        print(f"critical delay     : {result.critical_delay:.2f}")
+        print(f"SLL conflicts      : {result.conflict_count}")
+        fractions = result.phase_times.fractions()
+        print(
+            f"runtime            : {result.phase_times.total:.2f}s "
+            f"(IR {fractions['IR']:.0%}, TA {fractions['TA']:.0%}, "
+            f"LG&WA {fractions['LG & WA']:.0%})"
+        )
+    if args.report:
+        from repro.report import solution_report
+
+        print()
+        print(solution_report(result.solution, delay_model), end="")
+    if args.drc:
+        report = DesignRuleChecker(system, netlist, delay_model).check(result.solution)
+        print(report.summary())
+        if not report.is_clean:
+            for violation in report.violations[:20]:
+                print(f"  {violation}")
+            return 1
+    if args.summary_json:
+        from repro.report import write_summary_json
+
+        write_summary_json(args.summary_json, result.solution, delay_model)
+        if not args.quiet:
+            print(f"summary written    : {args.summary_json}")
+    if args.svg:
+        from repro.report import write_svg
+
+        write_svg(args.svg, system, result.solution)
+        if not args.quiet:
+            print(f"svg written        : {args.svg}")
+    if args.html:
+        from repro.report import write_html
+
+        write_html(args.html, result.solution, delay_model)
+        if not args.quiet:
+            print(f"html written       : {args.html}")
+    if args.output:
+        if args.json:
+            from repro.io import write_solution_json
+
+            write_solution_json(args.output, result.solution)
+        else:
+            write_solution_file(args.output, result.solution)
+        if not args.quiet:
+            print(f"solution written   : {args.output}")
+    return 0 if result.conflict_count == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Routing cost functions of the initial router (Section III-B).
+
+SLL and TDM edges have different cost shapes because their timing differs:
+
+* SLL edges cost ``µ * w_e`` where ``w_e`` is the estimated edge weight
+  plus the accumulated negotiation history, scaled by a present-congestion
+  factor while an edge is (about to be) overfull.
+* TDM edges cost ``µ * (d0 + p + demand_e / cap_e)`` (Eq. 2): the cost
+  rises with demand, spreading nets across TDM edges to keep eventual
+  ratios — and hence the critical connection delay — low.
+
+``µ`` rewards reusing an edge already carrying another connection of the
+same net (µ = 1/2 in practice), steering multi-fanout nets toward shared
+trees without forcing them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import RouterConfig
+from repro.route.graph import RoutingGraph
+from repro.timing.delay import DelayModel
+
+
+class EdgeCostModel:
+    """Per-edge routing costs with negotiation history.
+
+    Args:
+        graph: the routing graph.
+        delay_model: delay constants (``d0`` and the TDM step feed Eq. 2).
+        config: router knobs (µ, history increment, present penalty).
+        base_weights: per-edge estimated weights from
+            :func:`repro.core.ordering.estimate_edge_weights`.
+    """
+
+    def __init__(
+        self,
+        graph: RoutingGraph,
+        delay_model: DelayModel,
+        config: RouterConfig,
+        base_weights: Sequence[float],
+    ) -> None:
+        if len(base_weights) != graph.num_edges:
+            raise ValueError("need one base weight per edge")
+        self.graph = graph
+        self.delay_model = delay_model
+        self.config = config
+        # Plain Python lists: the cost function runs once per heap edge
+        # relaxation, where list indexing beats numpy scalar access.
+        self.base_weights = [float(w) for w in base_weights]
+        self.history = [0.0] * graph.num_edges
+        self.is_tdm = [bool(t) for t in graph.is_tdm]
+        self.capacity = [int(c) for c in graph.capacity]
+        self._tdm_fixed = delay_model.d0 + delay_model.tdm_step
+
+    def cost(self, edge_index: int, demand: int, used_by_net: bool) -> float:
+        """Cost of routing one more connection over an edge.
+
+        Args:
+            edge_index: the edge.
+            demand: current number of nets on the edge.
+            used_by_net: whether the edge already routes another connection
+                of the same net (enables the µ discount).
+        """
+        mu = self.config.mu_shared if used_by_net else 1.0
+        if self.is_tdm[edge_index]:
+            return mu * (self._tdm_fixed + demand / self.capacity[edge_index])
+        pressure = 1.0
+        overuse = demand + 1 - self.capacity[edge_index]
+        if overuse > 0:
+            pressure += self.config.present_penalty * overuse
+        return mu * (self.base_weights[edge_index] + self.history[edge_index]) * pressure
+
+    def add_history(self, edge_indices: Sequence[int]) -> None:
+        """Bump the negotiation history of overflowed SLL edges.
+
+        The bump scales with the edge's base weight so the negotiation
+        pressure is proportional in both weight modes (a +4 absolute bump
+        would dwarf a delay-mode base of 1 but vanish against a
+        congestion-mode base of ``||V|| + 1``).
+        """
+        for edge_index in edge_indices:
+            self.history[edge_index] += (
+                self.config.history_increment * self.base_weights[edge_index]
+            )
+
+    def history_array(self) -> np.ndarray:
+        """Copy of the per-edge history costs (diagnostics)."""
+        return np.asarray(self.history, dtype=np.float64)

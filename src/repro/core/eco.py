@@ -1,0 +1,238 @@
+"""Incremental (ECO) rerouting.
+
+Emulation flows iterate: after an engineering change order only a few
+nets differ, and re-running the full router discards a known-good
+solution.  :class:`EcoRouter` supports two incremental operations:
+
+* :meth:`EcoRouter.reroute_nets` — rip up and re-route a chosen set of
+  nets of an existing solution (e.g. timing-failing ones) under the
+  current congestion picture, then re-run phase II.
+* :meth:`EcoRouter.migrate` — carry a solution over to a *new* netlist:
+  connections of nets whose name and pins are unchanged keep their paths;
+  only new or modified nets are routed.
+
+Both preserve untouched nets' topology unless an SLL overflow forces
+negotiation (disturbed nets are reported, never hidden).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Set
+
+from repro.arch.system import MultiFpgaSystem
+from repro.core.config import RouterConfig
+from repro.core.cost import EdgeCostModel
+from repro.core.ordering import estimate_edge_weights, floyd_warshall, order_connections
+from repro.core.pathfinder import NegotiationState
+from repro.core.router import TdmAssigner
+from repro.netlist.netlist import Netlist
+from repro.route.dijkstra import dijkstra_path
+from repro.route.graph import RoutingGraph
+from repro.route.solution import RoutingSolution
+from repro.timing.analysis import TimingAnalyzer
+from repro.timing.delay import DelayModel
+
+
+@dataclass
+class EcoResult:
+    """Output of an incremental routing operation.
+
+    Attributes:
+        solution: the updated solution (paths, ratios and wires).
+        critical_delay: Eq. 1 objective after the update.
+        conflict_count: remaining SLL overflow.
+        rerouted_connections: connections whose path was (re)computed.
+        preserved_connections: connections whose path was carried over.
+        disturbed_nets: untouched nets that negotiation had to move.
+    """
+
+    solution: RoutingSolution
+    critical_delay: float
+    conflict_count: int
+    rerouted_connections: int = 0
+    preserved_connections: int = 0
+    disturbed_nets: Set[int] = field(default_factory=set)
+
+
+class EcoRouter:
+    """Incremental router over an existing solution."""
+
+    def __init__(
+        self,
+        system: MultiFpgaSystem,
+        delay_model: Optional[DelayModel] = None,
+        config: Optional[RouterConfig] = None,
+    ) -> None:
+        self.system = system
+        self.delay_model = delay_model if delay_model is not None else DelayModel()
+        self.config = config if config is not None else RouterConfig()
+
+    # ------------------------------------------------------------------
+    def reroute_nets(
+        self,
+        solution: RoutingSolution,
+        net_indices: Iterable[int],
+    ) -> EcoResult:
+        """Rip up and re-route the given nets of an existing solution."""
+        netlist = solution.netlist
+        targets = set(net_indices)
+        for net_index in targets:
+            if not 0 <= net_index < netlist.num_nets:
+                raise ValueError(f"unknown net index {net_index}")
+        fresh = solution.copy_topology()
+        dirty = [
+            conn.index
+            for conn in netlist.connections
+            if conn.net_index in targets
+        ]
+        for conn_index in dirty:
+            fresh.clear_path(conn_index)
+        return self._route_missing(netlist, fresh, protected=None)
+
+    def migrate(
+        self,
+        old_solution: RoutingSolution,
+        new_netlist: Netlist,
+    ) -> EcoResult:
+        """Carry a solution to a changed netlist, routing only the delta.
+
+        A net carries over when the new netlist has a net of the same
+        name, source die and sink dies; its connections inherit the old
+        paths.  Everything else is routed incrementally.
+        """
+        old_netlist = old_solution.netlist
+        fresh = RoutingSolution(self.system, new_netlist)
+        preserved = 0
+        for net in new_netlist.nets:
+            old_net = old_netlist.net_by_name(net.name)
+            if (
+                old_net is None
+                or old_net.source_die != net.source_die
+                or old_net.sink_dies != net.sink_dies
+            ):
+                continue
+            old_conns = {
+                conn.sink_die: conn.index
+                for conn in old_netlist.connections_of(old_net.index)
+            }
+            for conn in new_netlist.connections_of(net.index):
+                old_index = old_conns.get(conn.sink_die)
+                if old_index is None:
+                    continue
+                path = old_solution.path(old_index)
+                if path is not None:
+                    fresh.set_path(conn.index, list(path))
+                    preserved += 1
+        result = self._route_missing(new_netlist, fresh, protected=None)
+        result.preserved_connections = preserved
+        return result
+
+    # ------------------------------------------------------------------
+    def _route_missing(
+        self,
+        netlist: Netlist,
+        solution: RoutingSolution,
+        protected: Optional[Set[int]],
+    ) -> EcoResult:
+        """Route every unrouted connection, negotiate, re-run phase II."""
+        graph = RoutingGraph(self.system)
+        weights = estimate_edge_weights(graph, netlist, self.config.weight_mode)
+        dist = floyd_warshall(graph, weights)
+        cost_model = EdgeCostModel(graph, self.delay_model, self.config, weights)
+
+        state = NegotiationState(graph)
+        paths: List[Optional[List[int]]] = [None] * netlist.num_connections
+        for conn in netlist.connections:
+            path = solution.path(conn.index)
+            if path is not None:
+                paths[conn.index] = list(path)
+                state.add_path(conn.net_index, list(path))
+
+        missing = [i for i, path in enumerate(paths) if path is None]
+        order = order_connections(netlist, dist)
+        rank = {conn_index: position for position, conn_index in enumerate(order)}
+        missing.sort(key=lambda i: rank[i])
+
+        def route_one(conn_index: int) -> None:
+            conn = netlist.connections[conn_index]
+            net_edges = state.net_edges(conn.net_index)
+            demand = state.demand
+            cost = cost_model.cost
+
+            def edge_cost(edge_index: int, frm: int, to: int) -> float:
+                return cost(edge_index, demand[edge_index], edge_index in net_edges)
+
+            path = dijkstra_path(
+                graph.adjacency, conn.source_die, conn.sink_die, edge_cost
+            )
+            if path is None:
+                raise RuntimeError(f"connection {conn_index} unroutable")
+            paths[conn_index] = path
+            state.add_path(conn.net_index, path)
+
+        rerouted = set(missing)
+        for conn_index in missing:
+            route_one(conn_index)
+
+        # Negotiate remaining overflow, disturbing other nets only if
+        # needed; the victim-selection quota keeps disturbance minimal.
+        net_weight = [0.0] * netlist.num_nets
+        for conn in netlist.connections:
+            weight = float(dist[conn.source_die, conn.sink_die])
+            net_weight[conn.net_index] = max(net_weight[conn.net_index], weight)
+        disturbed: Set[int] = set()
+        initially_routed_nets = {
+            conn.net_index
+            for conn in netlist.connections
+            if conn.index not in rerouted
+        }
+        import math
+
+        for _ in range(self.config.max_reroute_iterations):
+            overflowed = state.overflowed_sll_edges()
+            if not overflowed:
+                break
+            cost_model.add_history(overflowed)
+            victims: Set[int] = set()
+            for edge_index in overflowed:
+                overuse = state.overuse(edge_index)
+                nets = state.nets_on_edge(edge_index)
+                nets.sort(key=lambda n: (net_weight[n], n))
+                quota = int(math.ceil(self.config.ripup_factor * overuse))
+                victims.update(nets[:quota])
+            victim_conns = sorted(
+                (
+                    conn_index
+                    for net_index in victims
+                    for conn_index in netlist.connection_indices_of(net_index)
+                    if paths[conn_index] is not None
+                ),
+                key=lambda conn_index: rank[conn_index],
+            )
+            disturbed.update(victims & initially_routed_nets)
+            for conn_index in victim_conns:
+                conn = netlist.connections[conn_index]
+                state.remove_path(conn.net_index, paths[conn_index])
+                paths[conn_index] = None
+            for conn_index in victim_conns:
+                route_one(conn_index)
+                rerouted.add(conn_index)
+
+        final = RoutingSolution(self.system, netlist)
+        for conn_index, path in enumerate(paths):
+            if path is not None:
+                final.set_path(conn_index, path)
+
+        TdmAssigner(self.system, netlist, self.delay_model, self.config).assign(final)
+        analyzer = TimingAnalyzer(self.system, netlist, self.delay_model)
+        critical = (
+            analyzer.critical_delay(final) if netlist.num_connections else 0.0
+        )
+        return EcoResult(
+            solution=final,
+            critical_delay=critical,
+            conflict_count=final.conflict_count(),
+            rerouted_connections=len(rerouted),
+            disturbed_nets=disturbed,
+        )

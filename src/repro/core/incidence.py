@@ -1,0 +1,150 @@
+"""Flat incidence arrays shared by the phase II algorithms.
+
+Phase II reasons about *net edge uses* — (net, TDM edge, direction)
+triples, the paper's ``r_ne`` index set — and about which uses each
+connection's path crosses.  :class:`TdmIncidence` flattens both relations
+into numpy index arrays once, so the Lagrangian iterations, legalization
+criticalities and final delay evaluation are all O(1) vectorized passes.
+This vectorization is the Python counterpart of the paper's per-edge /
+per-connection OpenMP parallelism (DESIGN.md substitution 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.arch.edges import EdgeKind
+from repro.arch.system import MultiFpgaSystem
+from repro.netlist.netlist import Netlist
+from repro.route.solution import NetEdgeUse, RoutingSolution
+from repro.timing.delay import DelayModel
+
+
+class TdmIncidence:
+    """Vectorized view of a solution's TDM usage.
+
+    Attributes:
+        uses: the (net, edge, direction) triples, in a fixed order; the
+            position of a triple is its *pair index*.
+        pair_net / pair_edge / pair_dir: per-pair component arrays.
+        pair_cap: per-pair capacity of the owning TDM edge.
+        inc_conn / inc_pair: parallel arrays with one entry per TDM hop of
+            every routed connection: connection index and pair index.
+        conn_sll_delay: per-connection constant delay from SLL hops
+            (``d_SLL_c``).
+        conn_tdm_hops: per-connection number of TDM hops.
+        conn_net: per-connection owning net index.
+    """
+
+    def __init__(
+        self,
+        system: MultiFpgaSystem,
+        netlist: Netlist,
+        solution: RoutingSolution,
+        delay_model: DelayModel,
+    ) -> None:
+        self.system = system
+        self.netlist = netlist
+        self.delay_model = delay_model
+
+        self.uses: List[NetEdgeUse] = solution.all_net_uses()
+        self.use_index: Dict[NetEdgeUse, int] = {
+            use: i for i, use in enumerate(self.uses)
+        }
+        self.num_pairs = len(self.uses)
+        self.num_connections = netlist.num_connections
+
+        self.pair_net = np.fromiter(
+            (u[0] for u in self.uses), dtype=np.int64, count=self.num_pairs
+        )
+        self.pair_edge = np.fromiter(
+            (u[1] for u in self.uses), dtype=np.int64, count=self.num_pairs
+        )
+        self.pair_dir = np.fromiter(
+            (u[2] for u in self.uses), dtype=np.int64, count=self.num_pairs
+        )
+        self.pair_cap = np.fromiter(
+            (system.edge(u[1]).capacity for u in self.uses),
+            dtype=np.int64,
+            count=self.num_pairs,
+        )
+
+        inc_conn: List[int] = []
+        inc_pair: List[int] = []
+        conn_sll = np.zeros(self.num_connections, dtype=np.float64)
+        conn_tdm = np.zeros(self.num_connections, dtype=np.int64)
+        conn_net = np.zeros(self.num_connections, dtype=np.int64)
+        for conn in netlist.connections:
+            conn_net[conn.index] = conn.net_index
+            for edge_index, direction in solution.path_hops(conn.index):
+                edge = system.edge(edge_index)
+                if edge.kind is EdgeKind.SLL:
+                    conn_sll[conn.index] += delay_model.d_sll
+                else:
+                    pair = self.use_index[(conn.net_index, edge_index, direction)]
+                    inc_conn.append(conn.index)
+                    inc_pair.append(pair)
+                    conn_tdm[conn.index] += 1
+        self.inc_conn = np.asarray(inc_conn, dtype=np.int64)
+        self.inc_pair = np.asarray(inc_pair, dtype=np.int64)
+        self.conn_sll_delay = conn_sll
+        self.conn_tdm_hops = conn_tdm
+        self.conn_net = conn_net
+
+        # Pair indices grouped per directed TDM edge, for legalization.
+        self._edge_dir_pairs: Dict[Tuple[int, int], List[int]] = {}
+        for i, (net, edge_index, direction) in enumerate(self.uses):
+            self._edge_dir_pairs.setdefault((edge_index, direction), []).append(i)
+
+    # ------------------------------------------------------------------
+    # Vectorized evaluations
+    # ------------------------------------------------------------------
+    def connection_delays(self, pair_ratios: np.ndarray) -> np.ndarray:
+        """Per-connection delays given per-pair TDM ratios.
+
+        ``d_c = d_SLL_c + Σ (d0 + d1 * r_pair)`` over the connection's TDM
+        hops (Eq. 4 summed along the path).
+        """
+        model = self.delay_model
+        delays = self.conn_sll_delay + model.d0 * self.conn_tdm_hops
+        if self.inc_conn.size:
+            tdm_part = np.bincount(
+                self.inc_conn,
+                weights=model.d1 * pair_ratios[self.inc_pair],
+                minlength=self.num_connections,
+            )
+            delays = delays + tdm_part
+        return delays
+
+    def pair_criticality(self, connection_delays: np.ndarray) -> np.ndarray:
+        """Per-pair criticality: the largest delay of a connection crossing it.
+
+        This is the paper's "criticality of a net on a TDM edge" used by
+        Algorithm 2 (the refinement priority).
+        """
+        criticality = np.zeros(self.num_pairs, dtype=np.float64)
+        if self.inc_conn.size:
+            np.maximum.at(criticality, self.inc_pair, connection_delays[self.inc_conn])
+        return criticality
+
+    def pairs_of_directed_edge(self, edge_index: int, direction: int) -> List[int]:
+        """Pair indices of all nets crossing a directed TDM edge."""
+        return self._edge_dir_pairs.get((edge_index, direction), [])
+
+    def directed_edges(self) -> List[Tuple[int, int]]:
+        """The (edge, direction) keys that actually carry nets."""
+        return sorted(self._edge_dir_pairs.keys())
+
+    def ratios_from_solution(self, solution: RoutingSolution) -> np.ndarray:
+        """Gather ``solution.ratios`` into a per-pair array."""
+        ratios = np.empty(self.num_pairs, dtype=np.float64)
+        for i, use in enumerate(self.uses):
+            ratios[i] = solution.ratios[use]
+        return ratios
+
+    def write_ratios(self, solution: RoutingSolution, pair_ratios: np.ndarray) -> None:
+        """Scatter a per-pair ratio array into ``solution.ratios``."""
+        for i, use in enumerate(self.uses):
+            solution.ratios[use] = float(pair_ratios[i])

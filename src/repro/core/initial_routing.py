@@ -1,0 +1,274 @@
+"""Phase I: delay-demand-balanced initial routing (Section III-B).
+
+The router decomposes every net into connections, orders them by
+Floyd–Warshall routing weight (descending; fewer-fanout nets first on
+ties), and routes each with Dijkstra under the SLL/TDM cost model of
+:mod:`repro.core.cost`.  Because SLL edges have hard capacities, the first
+pass may overflow; negotiation rounds then raise the history cost of the
+overflowed edges, rip up every net crossing them, and reroute until the
+topology is overlap-free (or the round budget is exhausted — the remaining
+overflow is reported, never silently dropped).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.arch.system import MultiFpgaSystem
+from repro.core.config import RouterConfig
+from repro.core.cost import EdgeCostModel
+from repro.core.ordering import estimate_edge_weights, floyd_warshall, order_connections
+from repro.core.pathfinder import NegotiationState
+from repro.netlist.netlist import Netlist
+from repro.route.dijkstra import dijkstra_path
+from repro.route.graph import RoutingGraph
+from repro.route.solution import RoutingSolution
+from repro.timing.delay import DelayModel
+
+
+@dataclass
+class InitialRoutingStats:
+    """Diagnostics of one initial-routing run."""
+
+    negotiation_rounds: int = 0
+    connections_routed: int = 0
+    reroutes: int = 0
+    final_overflow: int = 0
+    weight_mode: str = ""
+    history: List[int] = field(default_factory=list)
+
+
+class InitialRouter:
+    """The paper's phase I router."""
+
+    def __init__(
+        self,
+        system: MultiFpgaSystem,
+        netlist: Netlist,
+        delay_model: Optional[DelayModel] = None,
+        config: Optional[RouterConfig] = None,
+    ) -> None:
+        netlist.validate_against(system.num_dies)
+        self.system = system
+        self.netlist = netlist
+        self.delay_model = delay_model if delay_model is not None else DelayModel()
+        self.config = config if config is not None else RouterConfig()
+        self.stats = InitialRoutingStats()
+
+    def route(self) -> RoutingSolution:
+        """Produce an overlap-free (when feasible) routing topology."""
+        netlist = self.netlist
+        graph = RoutingGraph(self.system)
+        weights = estimate_edge_weights(graph, netlist, self.config.weight_mode)
+        self.stats.weight_mode = (
+            "delay" if weights[graph.is_tdm].max(initial=0) > 1 else "congestion"
+        )
+        dist = floyd_warshall(graph, weights)
+        order = order_connections(netlist, dist)
+        rank = {conn_index: pos for pos, conn_index in enumerate(order)}
+
+        state = NegotiationState(graph)
+        cost_model = EdgeCostModel(graph, self.delay_model, self.config, weights)
+        paths: List[Optional[List[int]]] = [None] * netlist.num_connections
+
+        order = self._steiner_first_pass(order, graph, state, cost_model, paths)
+        if self.config.initial_batch_size:
+            self._batched_first_pass(order, graph, state, cost_model, paths)
+        else:
+            for conn_index in order:
+                paths[conn_index] = self._route_connection(
+                    conn_index, graph, state, cost_model
+                )
+                self.stats.connections_routed += 1
+
+        net_weight = self._net_routing_weights(dist)
+        for round_index in range(self.config.max_reroute_iterations):
+            overflowed = state.overflowed_sll_edges()
+            self.stats.history.append(state.total_overflow())
+            if not overflowed:
+                break
+            self.stats.negotiation_rounds = round_index + 1
+            cost_model.add_history(overflowed)
+            victim_nets = self._select_victims(state, overflowed, net_weight)
+            victim_conns = sorted(
+                (
+                    conn_index
+                    for net_index in victim_nets
+                    for conn_index in netlist.connection_indices_of(net_index)
+                    if paths[conn_index] is not None
+                ),
+                key=lambda conn_index: rank[conn_index],
+            )
+            for conn_index in victim_conns:
+                conn = netlist.connections[conn_index]
+                state.remove_path(conn.net_index, paths[conn_index])
+                paths[conn_index] = None
+            for conn_index in victim_conns:
+                paths[conn_index] = self._route_connection(
+                    conn_index, graph, state, cost_model
+                )
+                self.stats.reroutes += 1
+
+        self.stats.final_overflow = state.total_overflow()
+
+        solution = RoutingSolution(self.system, netlist)
+        for conn_index, path in enumerate(paths):
+            if path is not None:
+                solution.set_path(conn_index, path)
+        return solution
+
+    # ------------------------------------------------------------------
+    def _steiner_first_pass(
+        self,
+        order: List[int],
+        graph: RoutingGraph,
+        state: NegotiationState,
+        cost_model: EdgeCostModel,
+        paths: List[Optional[List[int]]],
+    ) -> List[int]:
+        """Route high-fanout nets as whole Steiner trees (optional).
+
+        Nets with at least ``steiner_fanout_threshold`` crossing sinks are
+        routed atomically under the Eq. 2 cost model, in the order their
+        first connection appears; their connections are removed from the
+        per-connection order, which is returned.
+        """
+        threshold = self.config.steiner_fanout_threshold
+        if threshold is None:
+            return order
+        from repro.route.steiner import steiner_tree_paths
+
+        netlist = self.netlist
+        demand = state.demand
+        cost = cost_model.cost
+
+        def edge_cost(edge_index: int, frm: int, to: int) -> float:
+            return cost(edge_index, demand[edge_index], False)
+
+        routed_nets = set()
+        remaining: List[int] = []
+        for conn_index in order:
+            net_index = netlist.connections[conn_index].net_index
+            net = netlist.net(net_index)
+            if len(net.crossing_sink_dies) < threshold:
+                remaining.append(conn_index)
+                continue
+            if net_index in routed_nets:
+                continue
+            routed_nets.add(net_index)
+            tree = steiner_tree_paths(
+                graph.adjacency, net.source_die, net.crossing_sink_dies, edge_cost
+            )
+            for conn in netlist.connections_of(net_index):
+                path = tree[conn.sink_die]
+                paths[conn.index] = path
+                state.add_path(net_index, path)
+                self.stats.connections_routed += 1
+        return remaining
+
+    # ------------------------------------------------------------------
+    def _batched_first_pass(
+        self,
+        order: List[int],
+        graph: RoutingGraph,
+        state: NegotiationState,
+        cost_model: EdgeCostModel,
+        paths: List[Optional[List[int]]],
+    ) -> None:
+        """Wave-based first pass: one Dijkstra per source die per wave.
+
+        Costs are frozen at the start of each wave (µ and the wave's own
+        demand growth are ignored until the next wave), so large batches
+        trade quality for throughput; the negotiation rounds and the
+        timing-driven loop that follow are exact either way.
+        """
+        from repro.route.dijkstra import dijkstra_all, extract_path
+
+        netlist = self.netlist
+        batch = self.config.initial_batch_size
+        cost = cost_model.cost
+        for start in range(0, len(order), batch):
+            wave = order[start : start + batch]
+            # Snapshot demands so the whole wave prices edges identically
+            # (committing paths mid-wave would skew later sources).
+            snapshot = list(state.demand)
+
+            def edge_cost(edge_index: int, frm: int, to: int) -> float:
+                return cost(edge_index, snapshot[edge_index], False)
+
+            trees = {}
+            for conn_index in wave:
+                source = netlist.connections[conn_index].source_die
+                if source not in trees:
+                    _, prev = dijkstra_all(graph.adjacency, source, edge_cost)
+                    trees[source] = prev
+            for conn_index in wave:
+                conn = netlist.connections[conn_index]
+                path = extract_path(
+                    trees[conn.source_die], conn.source_die, conn.sink_die
+                )
+                paths[conn_index] = path
+                state.add_path(conn.net_index, path)
+                self.stats.connections_routed += 1
+
+    # ------------------------------------------------------------------
+    def _net_routing_weights(self, dist) -> List[float]:
+        """Per-net routing weight: the largest of its connections' weights."""
+        weights = [0.0] * self.netlist.num_nets
+        for conn in self.netlist.connections:
+            weight = float(dist[conn.source_die, conn.sink_die])
+            if weight > weights[conn.net_index]:
+                weights[conn.net_index] = weight
+        return weights
+
+    def _select_victims(
+        self,
+        state: NegotiationState,
+        overflowed: List[int],
+        net_weight: List[float],
+    ) -> set:
+        """Choose which nets to rip up from the overflowed SLL edges.
+
+        Per edge, only ``ceil(ripup_factor * overuse)`` nets move — those
+        with the smallest routing weight (the easiest to detour), keeping
+        long critical nets on their established paths.
+        """
+        factor = self.config.ripup_factor
+        victims = set()
+        for edge_index in overflowed:
+            overuse = state.overuse(edge_index)
+            nets = state.nets_on_edge(edge_index)
+            if factor == float("inf"):
+                victims.update(nets)
+                continue
+            quota = int(math.ceil(factor * overuse))
+            nets.sort(key=lambda n: (net_weight[n], n))
+            victims.update(nets[:quota])
+        return victims
+
+    def _route_connection(
+        self,
+        conn_index: int,
+        graph: RoutingGraph,
+        state: NegotiationState,
+        cost_model: EdgeCostModel,
+    ) -> List[int]:
+        """Dijkstra one connection under the current negotiated costs."""
+        conn = self.netlist.connections[conn_index]
+        net_edges = state.net_edges(conn.net_index)
+        demand = state.demand
+        cost = cost_model.cost
+
+        def edge_cost(edge_index: int, frm: int, to: int) -> float:
+            return cost(edge_index, demand[edge_index], edge_index in net_edges)
+
+        path = dijkstra_path(graph.adjacency, conn.source_die, conn.sink_die, edge_cost)
+        if path is None:
+            raise RuntimeError(
+                f"connection {conn_index} (die {conn.source_die} -> "
+                f"{conn.sink_die}) is unroutable: system graph disconnected"
+            )
+        state.add_path(conn.net_index, path)
+        return path

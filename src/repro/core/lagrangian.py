@@ -1,0 +1,232 @@
+"""Lagrangian-relaxation-based initial TDM ratio assignment (Section III-C).
+
+The primal problem (Eq. 3) minimizes the critical connection delay subject
+to per-TDM-edge capacity constraints ``Σ 1/r_ne <= cap_e - 1`` (one wire is
+reserved so both directions always get at least one wire each during
+legalization).  Relaxing the delay constraints with multipliers ``λ_c``
+yields the subproblem (Eq. 5) whose optimum has the closed form of Eq. 12
+via the Cauchy–Schwarz inequality; the dual is maximized by the
+multiplicative update of Eq. 13 with an adaptive acceleration factor.
+
+Every step is data-parallel over TDM edges (the Eq. 12 solve) or over
+connections (delay evaluation and the multiplier update); the paper uses
+OpenMP reductions, we use numpy scatter/gather over the incidence arrays
+of :class:`repro.core.incidence.TdmIncidence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import RouterConfig
+from repro.core.incidence import TdmIncidence
+
+_LAMBDA_FLOOR = 1e-16
+_ETA_FLOOR = 1e-30
+
+
+@dataclass
+class LrIteration:
+    """Diagnostics of one LR iteration."""
+
+    iteration: int
+    critical_delay: float
+    lower_bound: float
+    gap: float
+    acceleration: float
+
+
+@dataclass
+class LrHistory:
+    """Convergence history of the LR loop."""
+
+    iterations: List[LrIteration] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def num_iterations(self) -> int:
+        """Number of LR iterations run."""
+        return len(self.iterations)
+
+    @property
+    def final_gap(self) -> float:
+        """Relative primal-dual gap of the last iteration (inf when empty)."""
+        if not self.iterations:
+            return float("inf")
+        return self.iterations[-1].gap
+
+    @property
+    def best_delay(self) -> float:
+        """Best (smallest) critical delay seen across iterations."""
+        if not self.iterations:
+            return 0.0
+        return min(it.critical_delay for it in self.iterations)
+
+
+class LagrangianTdmAssigner:
+    """Runs Algorithm 1 over a :class:`TdmIncidence`.
+
+    Args:
+        incidence: the solution's TDM incidence arrays.
+        config: router configuration (LR iteration cap and ε).
+        min_ratio: lower clamp on continuous ratios.  Clamping a ratio *up*
+            only decreases ``Σ 1/r``, so edge capacity constraints are
+            preserved.
+    """
+
+    def __init__(
+        self,
+        incidence: TdmIncidence,
+        config: Optional[RouterConfig] = None,
+        min_ratio: float = 1.0,
+        update: str = "accelerated",
+    ) -> None:
+        self.incidence = incidence
+        self.config = config if config is not None else RouterConfig()
+        if min_ratio <= 0:
+            raise ValueError("min_ratio must be positive")
+        if update not in ("accelerated", "subgradient"):
+            raise ValueError("update must be 'accelerated' or 'subgradient'")
+        self.min_ratio = min_ratio
+        self.update = update
+        # Compact per-edge grouping of pairs (the Eq. 12 solve is per edge).
+        self._edge_ids, self._pair_group = np.unique(
+            incidence.pair_edge, return_inverse=True
+        )
+        self._num_groups = len(self._edge_ids)
+        if self._num_groups:
+            group_caps = np.empty(self._num_groups, dtype=np.float64)
+            # All pairs of a group share the edge, hence the capacity.
+            group_caps[self._pair_group] = incidence.pair_cap
+            self._group_cap_minus_1 = group_caps - 1.0
+        else:
+            self._group_cap_minus_1 = np.zeros(0, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def solve(self, warm_start: Optional[np.ndarray] = None) -> "LrResult":
+        """Run the LR loop and return the best continuous ratios found.
+
+        Args:
+            warm_start: optional multipliers from a previous solve on a
+                similar topology (e.g. the previous timing-reroute round);
+                re-normalized before use.  Defaults to the paper's uniform
+                ``1/||C||`` initialization.
+        """
+        inc = self.incidence
+        cfg = self.config
+        history = LrHistory()
+        if inc.num_pairs == 0 or inc.num_connections == 0:
+            return LrResult(
+                ratios=np.zeros(0, dtype=np.float64),
+                connection_delays=inc.connection_delays(np.zeros(0)),
+                history=history,
+            )
+
+        num_conns = inc.num_connections
+        if warm_start is not None and warm_start.shape == (num_conns,):
+            lam = np.maximum(warm_start.astype(np.float64), _LAMBDA_FLOOR)
+            lam /= lam.sum()
+        else:
+            lam = np.full(num_conns, 1.0 / num_conns, dtype=np.float64)
+        acceleration = 1.0
+        best_delay = np.inf
+        best_ratios: Optional[np.ndarray] = None
+        best_delays: Optional[np.ndarray] = None
+        prev_lower_bound = -np.inf
+
+        for iteration in range(cfg.lr_max_iterations):
+            ratios = self._solve_lrs(lam)
+            delays = inc.connection_delays(ratios)
+            critical = float(delays.max())
+            lower_bound = float(np.dot(lam, delays))
+            gap = (critical - lower_bound) / max(lower_bound, 1e-12)
+            history.iterations.append(
+                LrIteration(
+                    iteration=iteration,
+                    critical_delay=critical,
+                    lower_bound=lower_bound,
+                    gap=gap,
+                    acceleration=acceleration,
+                )
+            )
+            if critical < best_delay:
+                best_delay = critical
+                best_ratios = ratios
+                best_delays = delays
+            if gap < cfg.lr_epsilon:
+                history.converged = True
+                break
+            if self.update == "accelerated":
+                # Acceleration factor (the paper follows [15]): speed up
+                # while the dual bound keeps improving, damp otherwise.
+                if lower_bound > prev_lower_bound:
+                    acceleration = min(acceleration * 1.1, 4.0)
+                else:
+                    acceleration = max(acceleration * 0.8, 0.25)
+                prev_lower_bound = max(prev_lower_bound, lower_bound)
+                # Eq. 13 multiplicative update, then re-normalize to
+                # satisfy the KKT condition Σλ = 1 (Eq. 8).
+                if critical > 0:
+                    lam = lam * np.power(
+                        np.maximum(delays, 1e-12) / critical, acceleration
+                    )
+            else:
+                # Classic projected subgradient with a 1/k step: the
+                # comparison point the [15]-style acceleration is measured
+                # against (see benchmarks/bench_lr_update.py).
+                subgradient = delays - lower_bound
+                norm = float(np.linalg.norm(subgradient))
+                if norm > 0 and critical > 0:
+                    step = 1.0 / ((iteration + 1) * norm)
+                    lam = lam + step * subgradient
+                prev_lower_bound = max(prev_lower_bound, lower_bound)
+            lam = np.maximum(lam, _LAMBDA_FLOOR)
+            lam /= lam.sum()
+
+        assert best_ratios is not None and best_delays is not None
+        return LrResult(
+            ratios=best_ratios,
+            connection_delays=best_delays,
+            history=history,
+            multipliers=lam,
+        )
+
+    # ------------------------------------------------------------------
+    def _solve_lrs(self, lam: np.ndarray) -> np.ndarray:
+        """Closed-form optimum of the LR subproblem (Eq. 12) per TDM edge."""
+        inc = self.incidence
+        # Eq. 10: η_ne = d1 * Σ_{c of n using e} λ_c.
+        eta = inc.delay_model.d1 * np.bincount(
+            inc.inc_pair, weights=lam[inc.inc_conn], minlength=inc.num_pairs
+        )
+        eta = np.maximum(eta, _ETA_FLOOR)
+        sqrt_eta = np.sqrt(eta)
+        group_sum = np.bincount(
+            self._pair_group, weights=sqrt_eta, minlength=self._num_groups
+        )
+        # Eq. 12: r_ne = (Σ_{n'} sqrt(η_{n'e})) / (sqrt(η_ne) (cap_e - 1)).
+        ratios = group_sum[self._pair_group] / (
+            sqrt_eta * self._group_cap_minus_1[self._pair_group]
+        )
+        return np.maximum(ratios, self.min_ratio)
+
+
+@dataclass
+class LrResult:
+    """Output of the LR phase: continuous per-pair ratios and diagnostics.
+
+    Attributes:
+        ratios: best per-pair continuous ratios found.
+        connection_delays: per-connection delays under those ratios.
+        history: convergence trace.
+        multipliers: final λ (usable as a warm start for a re-solve on a
+            slightly changed topology).
+    """
+
+    ratios: np.ndarray
+    connection_delays: np.ndarray
+    history: LrHistory
+    multipliers: Optional[np.ndarray] = None

@@ -1,0 +1,175 @@
+"""TDM ratio legalization and margin-aware refinement (Section III-D).
+
+Legalization turns the continuous LR ratios into legal ones:
+
+1. Split each bidirectional TDM edge's physical wires between its two
+   directions: ``ceil(Σ 1/r)`` wires per direction, then hand leftover
+   wires to the busier direction.  Because the LR phase kept
+   ``Σ 1/r <= cap_e - 1``, the two rounded budgets always fit in ``cap_e``.
+2. Round every net ratio up to the nearest multiple of the TDM step ``p``.
+3. Margin-aware refinement (Algorithm 2): rounding up leaves a margin
+   between each directed edge's wire budget and its demand ``Σ 1/r``.  A
+   priority queue repeatedly pops the most critical net (largest delay of
+   a connection of the net crossing the edge) and lowers its ratio by one
+   step while the margin affords it.
+
+Each directed edge is independent, so edges can be processed in parallel
+(the paper's OpenMP loop; our :class:`~repro.parallel.ParallelExecutor`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import RouterConfig
+from repro.core.incidence import TdmIncidence
+from repro.parallel import ParallelExecutor
+
+
+@dataclass
+class LegalizationResult:
+    """Output of legalization: legal per-pair ratios and wire budgets.
+
+    Attributes:
+        ratios: per-pair legalized ratios (positive multiples of the step).
+        wire_budgets: physical wires granted to each (edge, direction).
+        criticality: per-pair criticality after refinement (used to order
+            wire assignment).
+        refinement_steps: total number of ratio decreases applied by
+            Algorithm 2.
+    """
+
+    ratios: np.ndarray
+    wire_budgets: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    criticality: Optional[np.ndarray] = None
+    refinement_steps: int = 0
+
+
+class TdmLegalizer:
+    """Legalizes and refines continuous TDM ratios."""
+
+    def __init__(
+        self,
+        incidence: TdmIncidence,
+        config: Optional[RouterConfig] = None,
+        executor: Optional[ParallelExecutor] = None,
+    ) -> None:
+        self.incidence = incidence
+        self.config = config if config is not None else RouterConfig()
+        self.executor = executor if executor is not None else ParallelExecutor(1)
+
+    # ------------------------------------------------------------------
+    def legalize(self, continuous_ratios: np.ndarray) -> LegalizationResult:
+        """Run budget split, rounding and Algorithm 2 refinement."""
+        inc = self.incidence
+        if inc.num_pairs == 0:
+            return LegalizationResult(ratios=np.zeros(0, dtype=np.float64))
+        budgets = self._split_wire_budgets(continuous_ratios)
+        step = inc.delay_model.tdm_step
+        ratios = np.ceil(continuous_ratios / step - 1e-12).astype(np.int64) * step
+        ratios = np.maximum(ratios, step).astype(np.float64)
+        # Criticalities under the legalized ratios drive the refinement.
+        delays = inc.connection_delays(ratios)
+        criticality = inc.pair_criticality(delays)
+
+        tasks = []
+        for (edge_index, direction), budget in budgets.items():
+            pairs = inc.pairs_of_directed_edge(edge_index, direction)
+            if pairs:
+                tasks.append((pairs, budget))
+        steps = sum(
+            self.executor.map(
+                lambda task: self._refine_directed_edge(
+                    task[0], task[1], ratios, criticality
+                ),
+                tasks,
+            )
+        )
+        return LegalizationResult(
+            ratios=ratios,
+            wire_budgets=budgets,
+            criticality=criticality,
+            refinement_steps=steps,
+        )
+
+    # ------------------------------------------------------------------
+    def _split_wire_budgets(
+        self, continuous_ratios: np.ndarray
+    ) -> Dict[Tuple[int, int], int]:
+        """Assign each TDM edge's physical wires to its two directions."""
+        inc = self.incidence
+        budgets: Dict[Tuple[int, int], int] = {}
+        edges = sorted({edge_index for edge_index, _ in inc.directed_edges()})
+        for edge_index in edges:
+            capacity = inc.system.edge(edge_index).capacity
+            demands = []
+            for direction in (0, 1):
+                pairs = inc.pairs_of_directed_edge(edge_index, direction)
+                demand = float(np.sum(1.0 / continuous_ratios[pairs])) if pairs else 0.0
+                demands.append(demand)
+            needed = [int(math.ceil(d - 1e-9)) if d > 0 else 0 for d in demands]
+            if sum(needed) > capacity:
+                raise ValueError(
+                    f"TDM edge {edge_index}: directional budgets {needed} "
+                    f"exceed capacity {capacity} — LR invariant broken"
+                )
+            leftover = capacity - sum(needed)
+            # Hand spare wires out; the busier direction gets the larger
+            # share, widening the refinement margin where it matters most.
+            busy = 0 if demands[0] >= demands[1] else 1
+            if demands[0] > 0 and demands[1] > 0:
+                needed[busy] += (leftover + 1) // 2
+                needed[1 - busy] += leftover // 2
+            elif demands[busy] > 0:
+                needed[busy] += leftover
+            for direction in (0, 1):
+                if demands[direction] > 0:
+                    budgets[(edge_index, direction)] = needed[direction]
+        return budgets
+
+    # ------------------------------------------------------------------
+    def _refine_directed_edge(
+        self,
+        pairs: List[int],
+        budget: int,
+        ratios: np.ndarray,
+        criticality: np.ndarray,
+    ) -> int:
+        """Algorithm 2 on one directed TDM edge.
+
+        Mutates ``ratios`` and ``criticality`` in place for the given pairs
+        (disjoint across directed edges, so parallel calls never conflict).
+
+        Returns:
+            Number of single-step ratio decreases applied.
+        """
+        model = self.incidence.delay_model
+        step = model.tdm_step
+        epsilon = self.config.refine_margin_epsilon
+        margin = budget - float(np.sum(1.0 / ratios[pairs]))
+        if margin <= epsilon:
+            return 0
+        heap: List[Tuple[float, int]] = [
+            (-criticality[pair], pair) for pair in pairs
+        ]
+        heapq.heapify(heap)
+        steps = 0
+        while heap and margin > epsilon:
+            neg_crit, pair = heapq.heappop(heap)
+            ratio = ratios[pair]
+            if ratio <= step:
+                continue  # already at the minimum legal ratio: drop it
+            delta = 1.0 / (ratio - step) - 1.0 / ratio
+            if delta > margin - epsilon:
+                continue  # cannot afford this net's decrease: drop it
+            ratios[pair] = ratio - step
+            criticality[pair] = -neg_crit - model.d1 * step
+            margin -= delta
+            steps += 1
+            heapq.heappush(heap, (-criticality[pair], pair))
+        return steps

@@ -1,0 +1,99 @@
+"""Negotiation bookkeeping for the PathFinder-style initial router.
+
+:class:`NegotiationState` tracks, incrementally, which edges each net uses
+and how many distinct nets each edge carries (``demand_e``).  Demand counts
+*nets*, not connections: two connections of one net sharing an edge consume
+a single SLL wire / TDM slot, which is exactly why the µ discount of the
+cost model pays off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.route.graph import RoutingGraph
+
+
+class NegotiationState:
+    """Incremental demand tracking during initial routing."""
+
+    def __init__(self, graph: RoutingGraph) -> None:
+        self.graph = graph
+        #: Number of distinct nets using each edge.
+        self.demand: List[int] = [0] * graph.num_edges
+        #: Per net: edge -> number of its connections using the edge.
+        self._net_edge_count: Dict[int, Dict[int, int]] = {}
+
+    def net_edges(self, net_index: int) -> Dict[int, int]:
+        """Edges currently used by a net (edge -> connection count)."""
+        return self._net_edge_count.setdefault(net_index, {})
+
+    def add_path(self, net_index: int, path: Sequence[int]) -> None:
+        """Account a routed die path of one of the net's connections."""
+        counts = self._net_edge_count.setdefault(net_index, {})
+        for frm, to in zip(path, path[1:]):
+            edge_index = self._edge_of(frm, to)
+            previous = counts.get(edge_index, 0)
+            counts[edge_index] = previous + 1
+            if previous == 0:
+                self.demand[edge_index] += 1
+
+    def remove_path(self, net_index: int, path: Sequence[int]) -> None:
+        """Reverse :meth:`add_path` for a ripped-up connection."""
+        counts = self._net_edge_count.get(net_index)
+        if counts is None:
+            raise KeyError(f"net {net_index} has no routed paths")
+        for frm, to in zip(path, path[1:]):
+            edge_index = self._edge_of(frm, to)
+            remaining = counts[edge_index] - 1
+            if remaining == 0:
+                del counts[edge_index]
+                self.demand[edge_index] -= 1
+            else:
+                counts[edge_index] = remaining
+
+    def overflowed_sll_edges(self) -> List[int]:
+        """SLL edges whose demand exceeds their capacity."""
+        graph = self.graph
+        return [
+            int(edge_index)
+            for edge_index in graph.sll_edge_indices
+            if self.demand[edge_index] > graph.capacity[edge_index]
+        ]
+
+    def nets_on_edges(self, edge_indices: Iterable[int]) -> Set[int]:
+        """Nets using any of the given edges."""
+        targets = set(edge_indices)
+        return {
+            net_index
+            for net_index, counts in self._net_edge_count.items()
+            if targets.intersection(counts)
+        }
+
+    def nets_on_edge(self, edge_index: int) -> List[int]:
+        """Nets using one edge (unordered)."""
+        return [
+            net_index
+            for net_index, counts in self._net_edge_count.items()
+            if edge_index in counts
+        ]
+
+    def overuse(self, edge_index: int) -> int:
+        """Demand beyond capacity on one edge (0 when legal)."""
+        return max(
+            0, self.demand[edge_index] - int(self.graph.capacity[edge_index])
+        )
+
+    def total_overflow(self) -> int:
+        """Sum of SLL overuse over all edges (the #CONF metric)."""
+        graph = self.graph
+        return sum(
+            max(0, self.demand[int(e)] - int(graph.capacity[e]))
+            for e in graph.sll_edge_indices
+        )
+
+    def _edge_of(self, frm: int, to: int) -> int:
+        edge = self.graph.system.edge_between(frm, to)
+        if edge is None:
+            raise ValueError(f"dies {frm} and {to} are not adjacent")
+        return edge.index

@@ -1,0 +1,104 @@
+"""Portfolio routing: run several configurations, keep the best result.
+
+Different instances favor different knobs (the weight-mode ablation shows
+congestion-driven weights winning case06 while delay-driven weights win
+case07); a portfolio amortizes that uncertainty the way contest entries
+do with restarts.  Results are compared by (legality, critical delay) and
+the winner is returned with the full per-config scoreboard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.system import MultiFpgaSystem
+from repro.core.config import RouterConfig
+from repro.core.router import RoutingResult, SynergisticRouter
+from repro.netlist.netlist import Netlist
+from repro.timing.delay import DelayModel
+
+
+def default_portfolio(base: Optional[RouterConfig] = None) -> Dict[str, RouterConfig]:
+    """The standard four-config portfolio.
+
+    Derived from ``base`` (or the defaults): the auto pipeline, both
+    forced weight modes, and a rip-everything negotiation variant.
+    """
+    base = base if base is not None else RouterConfig()
+    return {
+        "auto": base,
+        "delay-weights": dataclasses.replace(base, weight_mode="delay"),
+        "congestion-weights": dataclasses.replace(base, weight_mode="congestion"),
+        "full-ripup": dataclasses.replace(base, ripup_factor=float("inf")),
+    }
+
+
+@dataclass
+class PortfolioOutcome:
+    """Scoreboard of one portfolio run.
+
+    Attributes:
+        best_name: the winning configuration's name.
+        best: the winning result.
+        scores: per-config (critical delay, conflicts, runtime seconds).
+    """
+
+    best_name: str
+    best: RoutingResult
+    scores: Dict[str, Tuple[float, int, float]] = field(default_factory=dict)
+
+    def table(self) -> List[str]:
+        """Human-readable scoreboard rows."""
+        rows = [f"{'config':22s} {'delay':>9s} {'conf':>6s} {'time(s)':>8s}"]
+        for name, (delay, conflicts, runtime) in self.scores.items():
+            marker = "  <- best" if name == self.best_name else ""
+            rows.append(
+                f"{name:22s} {delay:9.1f} {conflicts:6d} {runtime:8.2f}{marker}"
+            )
+        return rows
+
+
+class PortfolioRouter:
+    """Routes with every configuration of a portfolio and keeps the best."""
+
+    def __init__(
+        self,
+        system: MultiFpgaSystem,
+        netlist: Netlist,
+        delay_model: Optional[DelayModel] = None,
+        portfolio: Optional[Dict[str, RouterConfig]] = None,
+    ) -> None:
+        netlist.validate_against(system.num_dies)
+        self.system = system
+        self.netlist = netlist
+        self.delay_model = delay_model if delay_model is not None else DelayModel()
+        self.portfolio = portfolio if portfolio is not None else default_portfolio()
+        if not self.portfolio:
+            raise ValueError("portfolio must contain at least one config")
+
+    def route(self) -> PortfolioOutcome:
+        """Run the portfolio; best = legal first, then smallest delay."""
+        best_name: Optional[str] = None
+        best: Optional[RoutingResult] = None
+        scores: Dict[str, Tuple[float, int, float]] = {}
+        for name, config in self.portfolio.items():
+            start = time.perf_counter()
+            result = SynergisticRouter(
+                self.system, self.netlist, self.delay_model, config
+            ).route()
+            runtime = time.perf_counter() - start
+            scores[name] = (result.critical_delay, result.conflict_count, runtime)
+            if best is None or self._better(result, best):
+                best_name, best = name, result
+        assert best is not None and best_name is not None
+        return PortfolioOutcome(best_name=best_name, best=best, scores=scores)
+
+    @staticmethod
+    def _better(candidate: RoutingResult, incumbent: RoutingResult) -> bool:
+        """Legality dominates; then the smaller critical delay wins."""
+        candidate_key = (candidate.conflict_count > 0, candidate.critical_delay)
+        incumbent_key = (incumbent.conflict_count > 0, incumbent.critical_delay)
+        return candidate_key < incumbent_key

@@ -1,0 +1,265 @@
+"""Top-level synergistic router (Fig. 3's overall flow) and the standalone
+phase II assigner used to refine foreign topologies (Fig. 5(a))."""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import RouterConfig
+from repro.core.incidence import TdmIncidence
+from repro.core.initial_routing import InitialRouter, InitialRoutingStats
+from repro.core.lagrangian import LagrangianTdmAssigner, LrHistory
+from repro.core.legalization import TdmLegalizer
+from repro.core.wire_assignment import WireAssigner, WireAssignmentStats
+from repro.arch.system import MultiFpgaSystem
+from repro.netlist.netlist import Netlist
+from repro.parallel import ParallelExecutor
+from repro.route.solution import RoutingSolution
+from repro.timing.analysis import TimingAnalyzer, TimingReport
+from repro.timing.delay import DelayModel
+
+
+@dataclass
+class PhaseTimes:
+    """Wall-clock seconds per phase (the Fig. 5(b) breakdown).
+
+    Attributes:
+        initial_routing: phase I (IR).
+        tdm_assignment: Lagrangian initial ratio assignment (TA).
+        legalization_wire_assignment: legalization + wire assignment
+            (LG & WA).
+    """
+
+    initial_routing: float = 0.0
+    tdm_assignment: float = 0.0
+    legalization_wire_assignment: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total routing runtime."""
+        return (
+            self.initial_routing
+            + self.tdm_assignment
+            + self.legalization_wire_assignment
+        )
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-phase share of the total runtime (empty phases at 0)."""
+        total = self.total
+        if total <= 0:
+            return {"IR": 0.0, "TA": 0.0, "LG & WA": 0.0}
+        return {
+            "IR": self.initial_routing / total,
+            "TA": self.tdm_assignment / total,
+            "LG & WA": self.legalization_wire_assignment / total,
+        }
+
+
+@dataclass
+class RoutingResult:
+    """Everything a routing run produces.
+
+    Attributes:
+        solution: paths, ratios and wires.
+        critical_delay: the objective value (Eq. 1).
+        conflict_count: total SLL overflow (#CONF; 0 for a legal result).
+        phase_times: runtime breakdown.
+        timing: full timing report.
+        lr_history: Lagrangian convergence history (None if phase II was
+            skipped because no net crosses a TDM edge).
+        initial_stats: phase I diagnostics.
+        wire_stats: wire-assignment counters.
+    """
+
+    solution: RoutingSolution
+    critical_delay: float
+    conflict_count: int
+    phase_times: PhaseTimes
+    timing: TimingReport
+    lr_history: Optional[LrHistory] = None
+    initial_stats: Optional[InitialRoutingStats] = None
+    wire_stats: Optional[WireAssignmentStats] = None
+    timing_reroute_moves: int = 0
+
+    @property
+    def is_legal(self) -> bool:
+        """Whether the topology is overlap-free on SLL edges."""
+        return self.conflict_count == 0
+
+
+class TdmAssigner:
+    """Phase II standalone: LR ratios, legalization, wire assignment.
+
+    Runs the paper's full TDM ratio pipeline on *any* routed topology —
+    ours or a baseline's (the Fig. 5(a) experiment).
+    """
+
+    def __init__(
+        self,
+        system: MultiFpgaSystem,
+        netlist: Netlist,
+        delay_model: Optional[DelayModel] = None,
+        config: Optional[RouterConfig] = None,
+    ) -> None:
+        self.system = system
+        self.netlist = netlist
+        self.delay_model = delay_model if delay_model is not None else DelayModel()
+        self.config = config if config is not None else RouterConfig()
+
+    def _executor(self) -> ParallelExecutor:
+        workers = self.config.num_workers
+        if workers is None:
+            # The paper's rule: 10 threads above 200k nets, 1 below.
+            if self.netlist.num_nets > self.config.parallel_net_threshold:
+                workers = min(10, os.cpu_count() or 1)
+            else:
+                workers = 1
+        return ParallelExecutor(workers)
+
+    def assign(self, solution: RoutingSolution) -> Optional[LrHistory]:
+        """Assign ratios and wires in place; returns the LR history."""
+        history, _ = self.assign_with_stats(solution)
+        return history
+
+    def assign_with_stats(
+        self, solution: RoutingSolution
+    ) -> "tuple[Optional[LrHistory], Optional[WireAssignmentStats]]":
+        """Like :meth:`assign` but also returns wire-assignment counters."""
+        incidence = TdmIncidence(self.system, self.netlist, solution, self.delay_model)
+        if incidence.num_pairs == 0:
+            return None, None
+        executor = self._executor()
+        lr = LagrangianTdmAssigner(incidence, self.config)
+        lr_result = lr.solve()
+        legalizer = TdmLegalizer(incidence, self.config, executor)
+        legal = legalizer.legalize(lr_result.ratios)
+        incidence.write_ratios(solution, legal.ratios)
+        assigner = WireAssigner(incidence, self.config, executor)
+        stats = assigner.assign(
+            solution, legal.ratios, legal.wire_budgets, legal.criticality
+        )
+        return lr_result.history, stats
+
+
+class SynergisticRouter:
+    """The paper's die-level router: phase I then phase II.
+
+    Args:
+        system: the multi-FPGA system.
+        netlist: the die-level partitioned design.
+        delay_model: delay constants (defaults match DESIGN.md).
+        config: tuning knobs for both phases.
+    """
+
+    def __init__(
+        self,
+        system: MultiFpgaSystem,
+        netlist: Netlist,
+        delay_model: Optional[DelayModel] = None,
+        config: Optional[RouterConfig] = None,
+    ) -> None:
+        netlist.validate_against(system.num_dies)
+        self.system = system
+        self.netlist = netlist
+        self.delay_model = delay_model if delay_model is not None else DelayModel()
+        self.config = config if config is not None else RouterConfig()
+
+    def route(self) -> RoutingResult:
+        """Run both phases (plus the timing-driven outer loop)."""
+        times = PhaseTimes()
+
+        start = time.perf_counter()
+        initial = InitialRouter(self.system, self.netlist, self.delay_model, self.config)
+        solution = initial.route()
+        times.initial_routing = time.perf_counter() - start
+
+        lr_history, wire_stats, multipliers = self._run_phase2(solution, times)
+        analyzer = TimingAnalyzer(self.system, self.netlist, self.delay_model)
+        timing = analyzer.analyze(solution)
+
+        # Timing-driven outer loop: reroute measured-critical connections,
+        # re-assign ratios, keep only strict improvements.
+        moves = 0
+        if timing.critical_connection >= 0 and self.config.timing_reroute_rounds:
+            from repro.core.timing_reroute import TimingDrivenRefiner
+
+            refiner = TimingDrivenRefiner(
+                self.system, self.netlist, self.delay_model, self.config
+            )
+            for _ in range(self.config.timing_reroute_rounds):
+                start = time.perf_counter()
+                outcome = refiner.refine(solution)
+                refine_time = time.perf_counter() - start
+                if outcome.solution is None:
+                    break
+                candidate = outcome.solution
+                candidate_times = PhaseTimes()
+                # The previous round's multipliers warm-start the re-solve:
+                # the topology barely changed, so λ is nearly right already.
+                cand_lr, cand_wires, cand_multipliers = self._run_phase2(
+                    candidate, candidate_times, warm_start=multipliers
+                )
+                cand_timing = analyzer.analyze(candidate)
+                # The refinement search counts as initial-routing work.
+                times.initial_routing += refine_time
+                times.tdm_assignment += candidate_times.tdm_assignment
+                times.legalization_wire_assignment += (
+                    candidate_times.legalization_wire_assignment
+                )
+                if cand_timing.critical_delay < timing.critical_delay - 1e-9:
+                    solution = candidate
+                    timing = cand_timing
+                    lr_history = cand_lr if cand_lr is not None else lr_history
+                    wire_stats = cand_wires if cand_wires is not None else wire_stats
+                    multipliers = (
+                        cand_multipliers if cand_multipliers is not None else multipliers
+                    )
+                    moves += outcome.moves
+                else:
+                    break
+
+        return RoutingResult(
+            solution=solution,
+            critical_delay=timing.critical_delay,
+            conflict_count=solution.conflict_count(),
+            phase_times=times,
+            timing=timing,
+            lr_history=lr_history,
+            initial_stats=initial.stats,
+            wire_stats=wire_stats,
+            timing_reroute_moves=moves,
+        )
+
+    def _run_phase2(
+        self,
+        solution: RoutingSolution,
+        times: PhaseTimes,
+        warm_start=None,
+    ) -> "tuple[Optional[LrHistory], Optional[WireAssignmentStats], object]":
+        """LR + legalization + wire assignment on one topology.
+
+        Returns the LR history, wire stats and the final multipliers (a
+        warm start for the next timing-reroute round).
+        """
+        assigner = TdmAssigner(self.system, self.netlist, self.delay_model, self.config)
+        incidence = TdmIncidence(self.system, self.netlist, solution, self.delay_model)
+        if not incidence.num_pairs:
+            return None, None, None
+        executor = assigner._executor()
+        start = time.perf_counter()
+        lr_result = LagrangianTdmAssigner(incidence, self.config).solve(
+            warm_start=warm_start
+        )
+        times.tdm_assignment += time.perf_counter() - start
+
+        start = time.perf_counter()
+        legal = TdmLegalizer(incidence, self.config, executor).legalize(lr_result.ratios)
+        incidence.write_ratios(solution, legal.ratios)
+        wire_stats = WireAssigner(incidence, self.config, executor).assign(
+            solution, legal.ratios, legal.wire_budgets, legal.criticality
+        )
+        times.legalization_wire_assignment += time.perf_counter() - start
+        return lr_result.history, wire_stats, lr_result.multipliers

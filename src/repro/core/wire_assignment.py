@@ -1,0 +1,208 @@
+"""Greedy TDM wire assignment (Section III-D, last stage).
+
+For each directed TDM edge, nets are packed onto physical wires following
+the paper's greedy: repeatedly open a wire whose ratio is the smallest
+remaining net ratio and fill it with the ``ratio`` smallest-ratio nets.
+Leftover demand (wires exhausted) is folded onto the wires whose nets are
+least critical, bumping their ratio a step at a time; leftover capacity
+(wires to spare) is spent moving the most critical nets onto empty wires
+at the minimum ratio.  Finally every wire's ratio is shrunk to the legal
+minimum for its demand — a pure improvement the rules always allow — and
+each net's ratio becomes its wire's ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.edges import TdmWire
+from repro.core.config import RouterConfig
+from repro.core.incidence import TdmIncidence
+from repro.parallel import ParallelExecutor
+from repro.route.solution import RoutingSolution
+
+
+@dataclass
+class WireAssignmentStats:
+    """Counters describing one wire-assignment run."""
+
+    wires_used: int = 0
+    nets_assigned: int = 0
+    overflow_bumps: int = 0
+    critical_moves: int = 0
+
+
+class WireAssigner:
+    """Assigns nets to physical TDM wires per directed edge."""
+
+    def __init__(
+        self,
+        incidence: TdmIncidence,
+        config: Optional[RouterConfig] = None,
+        executor: Optional[ParallelExecutor] = None,
+    ) -> None:
+        self.incidence = incidence
+        self.config = config if config is not None else RouterConfig()
+        self.executor = executor if executor is not None else ParallelExecutor(1)
+
+    # ------------------------------------------------------------------
+    def assign(
+        self,
+        solution: RoutingSolution,
+        ratios: np.ndarray,
+        wire_budgets: Dict[Tuple[int, int], int],
+        criticality: np.ndarray,
+    ) -> WireAssignmentStats:
+        """Build ``solution.wires`` / ``solution.net_wire`` and final ratios.
+
+        Args:
+            solution: solution to receive the wires (its topology must be
+                the one the incidence was built from).
+            ratios: legalized per-pair ratios.
+            wire_budgets: per-(edge, direction) wire counts from
+                legalization.
+            criticality: per-pair criticality from legalization.
+        """
+        inc = self.incidence
+        stats = WireAssignmentStats()
+        edges = sorted({edge for edge, _ in inc.directed_edges()})
+
+        def build(edge_index: int) -> List[TdmWire]:
+            wires: List[TdmWire] = []
+            for direction in (0, 1):
+                pairs = inc.pairs_of_directed_edge(edge_index, direction)
+                if not pairs:
+                    continue
+                budget = wire_budgets[(edge_index, direction)]
+                wires.extend(
+                    self._assign_directed_edge(
+                        edge_index, direction, pairs, budget, ratios, criticality, stats
+                    )
+                )
+            return wires
+
+        per_edge_wires = self.executor.map(build, edges)
+        for edge_index, wires in zip(edges, per_edge_wires):
+            solution.wires[edge_index] = wires
+            for position, wire in enumerate(wires):
+                for net_index in wire.net_indices:
+                    use = (net_index, edge_index, wire.direction)
+                    solution.net_wire[use] = position
+                    solution.ratios[use] = float(wire.ratio)
+            stats.wires_used += len(wires)
+        return stats
+
+    # ------------------------------------------------------------------
+    def _assign_directed_edge(
+        self,
+        edge_index: int,
+        direction: int,
+        pairs: List[int],
+        budget: int,
+        ratios: np.ndarray,
+        criticality: np.ndarray,
+        stats: WireAssignmentStats,
+    ) -> List[TdmWire]:
+        """The paper's greedy for one directed edge."""
+        model = self.incidence.delay_model
+        step = model.tdm_step
+        # Ascending ratio; among equal ratios the more critical net first so
+        # it lands on the (smaller-ratio) earlier wire.
+        order = sorted(pairs, key=lambda p: (ratios[p], -criticality[p]))
+        wires: List[TdmWire] = []
+        cursor = 0
+        while cursor < len(order) and len(wires) < budget:
+            wire_ratio = int(round(ratios[order[cursor]]))
+            group = order[cursor : cursor + wire_ratio]
+            wire = TdmWire(edge_index=edge_index, direction=direction, ratio=wire_ratio)
+            for pair in group:
+                wire.add_net(int(self.incidence.pair_net[pair]))
+            wires.append(wire)
+            cursor += len(group)
+
+        # Leftover demand: fold onto existing wires, preferring headroom,
+        # otherwise bump the wire whose nets are least critical.
+        if cursor < len(order):
+            wire_crit = self._wire_criticalities(wires, pairs, criticality)
+            for pair in order[cursor:]:
+                target = self._pick_wire_for_leftover(wires, wire_crit)
+                wire = wires[target]
+                if wire.demand >= wire.ratio:
+                    wire.ratio += step
+                    stats.overflow_bumps += 1
+                wire.add_net(int(self.incidence.pair_net[pair]))
+                wire_crit[target] = max(wire_crit[target], float(criticality[pair]))
+
+        # Leftover capacity: give the most critical shared nets private
+        # wires at the minimum ratio.
+        spare = budget - len(wires)
+        if spare > 0 and wires:
+            pair_wire = self._pair_wire_map(wires, order)
+            candidates = sorted(
+                (p for p in pairs if p in pair_wire),
+                key=lambda p: -criticality[p],
+            )
+            for pair in candidates:
+                if spare <= 0:
+                    break
+                source = wires[pair_wire[pair]]
+                if source.demand < 2 or source.ratio <= step:
+                    continue
+                net = int(self.incidence.pair_net[pair])
+                source.net_indices.remove(net)
+                fresh = TdmWire(
+                    edge_index=edge_index, direction=direction, ratio=step
+                )
+                fresh.add_net(net)
+                wires.append(fresh)
+                spare -= 1
+                stats.critical_moves += 1
+
+        # Final shrink: a wire's ratio only needs to be the smallest legal
+        # multiple of the step covering its demand.
+        for wire in wires:
+            wire.ratio = model.legalize_ratio(wire.demand)
+        stats.nets_assigned += len(pairs)
+        return wires
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pick_wire_for_leftover(wires: List[TdmWire], wire_crit: List[float]) -> int:
+        """Wire to receive a leftover net: headroom first, then least critical."""
+        best = -1
+        for index, wire in enumerate(wires):
+            if wire.demand < wire.ratio:
+                if best < 0 or wire.ratio < wires[best].ratio:
+                    best = index
+        if best >= 0:
+            return best
+        return int(np.argmin(wire_crit))
+
+    def _wire_criticalities(
+        self, wires: List[TdmWire], pairs: List[int], criticality: np.ndarray
+    ) -> List[float]:
+        """Max criticality of the nets currently on each wire."""
+        net_crit = {
+            int(self.incidence.pair_net[p]): float(criticality[p]) for p in pairs
+        }
+        return [
+            max((net_crit.get(net, 0.0) for net in wire.net_indices), default=0.0)
+            for wire in wires
+        ]
+
+    def _pair_wire_map(
+        self, wires: List[TdmWire], order: List[int]
+    ) -> Dict[int, int]:
+        """Map each assigned pair to the index of its wire."""
+        net_to_wire: Dict[int, int] = {}
+        for index, wire in enumerate(wires):
+            for net in wire.net_indices:
+                net_to_wire[net] = index
+        return {
+            pair: net_to_wire[int(self.incidence.pair_net[pair])]
+            for pair in order
+            if int(self.incidence.pair_net[pair]) in net_to_wire
+        }

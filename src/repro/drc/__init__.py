@@ -1,0 +1,11 @@
+"""Design-rule checker for die-level routing solutions.
+
+Checks every rule of the paper's Section II-B: connectivity (loop-free
+routed paths covering every connection), SLL capacity, TDM wire ratio and
+delay consistency, TDM edge capacity, and the TDM direction rule.
+"""
+
+from repro.drc.violations import Violation, ViolationKind
+from repro.drc.checker import DesignRuleChecker, DrcReport
+
+__all__ = ["DesignRuleChecker", "DrcReport", "Violation", "ViolationKind"]

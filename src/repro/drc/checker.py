@@ -1,0 +1,270 @@
+"""The design-rule checker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.arch.system import MultiFpgaSystem
+from repro.netlist.netlist import Netlist
+from repro.route.solution import RoutingSolution
+from repro.route.tree import edges_form_tree
+from repro.drc.violations import Violation, ViolationKind
+from repro.timing.delay import DelayModel
+
+
+@dataclass
+class DrcReport:
+    """Result of a DRC run.
+
+    Attributes:
+        violations: every violation found.
+        checked_rules: names of the rule groups that ran.
+    """
+
+    violations: List[Violation] = field(default_factory=list)
+    checked_rules: List[str] = field(default_factory=list)
+
+    @property
+    def is_clean(self) -> bool:
+        """True when no rule is violated."""
+        return not self.violations
+
+    def count(self, kind: ViolationKind) -> int:
+        """Number of violations of one kind."""
+        return sum(1 for v in self.violations if v.kind is kind)
+
+    def by_kind(self) -> Dict[ViolationKind, int]:
+        """Violation counts per kind (only kinds that occur)."""
+        counts: Dict[ViolationKind, int] = {}
+        for violation in self.violations:
+            counts[violation.kind] = counts.get(violation.kind, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        if self.is_clean:
+            return "DRC clean"
+        parts = [f"{kind.value}={count}" for kind, count in sorted(
+            self.by_kind().items(), key=lambda item: item[0].value
+        )]
+        return "DRC violations: " + ", ".join(parts)
+
+
+class DesignRuleChecker:
+    """Validates a routing solution against every Section II-B rule."""
+
+    def __init__(
+        self,
+        system: MultiFpgaSystem,
+        netlist: Netlist,
+        delay_model: DelayModel,
+    ) -> None:
+        self.system = system
+        self.netlist = netlist
+        self.delay_model = delay_model
+
+    def check(
+        self,
+        solution: RoutingSolution,
+        check_wires: bool = True,
+        check_net_trees: bool = False,
+    ) -> DrcReport:
+        """Run the full DRC.
+
+        Args:
+            solution: the solution to validate.
+            check_wires: also validate ratios and the wire assignment;
+                disable to validate a topology-only solution (after phase I
+                but before phase II).
+            check_net_trees: additionally require each net's *union* of
+                routed paths to be acyclic.  The contest rule only demands
+                loop-freedom per connection (always checked); the stricter
+                tree condition is useful when a downstream flow assumes
+                tree-shaped nets.
+        """
+        report = DrcReport()
+        self._check_connectivity(solution, report, check_net_trees)
+        self._check_sll_capacity(solution, report)
+        if check_wires:
+            self._check_tdm_rules(solution, report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Connectivity rule
+    # ------------------------------------------------------------------
+    def _check_connectivity(
+        self,
+        solution: RoutingSolution,
+        report: DrcReport,
+        check_net_trees: bool = False,
+    ) -> None:
+        report.checked_rules.append("connectivity")
+        net_paths: Dict[int, List[Tuple[int, ...]]] = {}
+        for conn in self.netlist.connections:
+            path = solution.path(conn.index)
+            if path is None:
+                report.violations.append(
+                    Violation(
+                        ViolationKind.CONNECTIVITY,
+                        f"connection {conn.index} (net {conn.net_index}) is unrouted",
+                        {"connection": conn.index, "net": conn.net_index},
+                    )
+                )
+                continue
+            # set_path validated endpoints/adjacency/loop-freedom; re-check
+            # endpoints cheaply in case paths were injected another way.
+            if path[0] != conn.source_die or path[-1] != conn.sink_die:
+                report.violations.append(
+                    Violation(
+                        ViolationKind.CONNECTIVITY,
+                        f"connection {conn.index} path endpoints mismatch",
+                        {"connection": conn.index, "path": list(path)},
+                    )
+                )
+                continue
+            net_paths.setdefault(conn.net_index, []).append(path)
+        if not check_net_trees:
+            return
+        for net_index, paths in net_paths.items():
+            edges: Set[Tuple[int, int]] = set()
+            for path in paths:
+                for a, b in zip(path, path[1:]):
+                    edges.add((min(a, b), max(a, b)))
+            if not edges_form_tree(edges):
+                report.violations.append(
+                    Violation(
+                        ViolationKind.CONNECTIVITY,
+                        f"net {net_index}: union of routed paths contains a loop",
+                        {"net": net_index},
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # SLL capacity rule
+    # ------------------------------------------------------------------
+    def _check_sll_capacity(self, solution: RoutingSolution, report: DrcReport) -> None:
+        report.checked_rules.append("sll_capacity")
+        for overflow in solution.sll_overflows():
+            report.violations.append(
+                Violation(
+                    ViolationKind.SLL_CAPACITY,
+                    f"SLL edge {overflow.edge_index}: demand {overflow.demand} "
+                    f"exceeds capacity {overflow.capacity}",
+                    {
+                        "edge": overflow.edge_index,
+                        "demand": overflow.demand,
+                        "capacity": overflow.capacity,
+                    },
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # TDM wire ratio, capacity, direction and assignment rules
+    # ------------------------------------------------------------------
+    def _check_tdm_rules(self, solution: RoutingSolution, report: DrcReport) -> None:
+        report.checked_rules.extend(
+            ["tdm_wire_ratio", "tdm_capacity", "tdm_direction", "tdm_assignment"]
+        )
+        model = self.delay_model
+        for edge in self.system.tdm_edges:
+            wires = solution.wires.get(edge.index, [])
+            if len(wires) > edge.capacity:
+                report.violations.append(
+                    Violation(
+                        ViolationKind.TDM_CAPACITY,
+                        f"TDM edge {edge.index}: {len(wires)} wires exceed "
+                        f"capacity {edge.capacity}",
+                        {"edge": edge.index, "wires": len(wires), "capacity": edge.capacity},
+                    )
+                )
+            for wire_pos, wire in enumerate(wires):
+                if wire.edge_index != edge.index:
+                    report.violations.append(
+                        Violation(
+                            ViolationKind.TDM_ASSIGNMENT,
+                            f"wire {wire_pos} on edge {edge.index} claims edge "
+                            f"{wire.edge_index}",
+                            {"edge": edge.index, "wire": wire_pos},
+                        )
+                    )
+                if not model.is_legal_ratio(wire.ratio):
+                    report.violations.append(
+                        Violation(
+                            ViolationKind.TDM_WIRE_RATIO,
+                            f"wire {wire_pos} on edge {edge.index}: ratio "
+                            f"{wire.ratio} is not a positive multiple of "
+                            f"step {model.tdm_step}",
+                            {"edge": edge.index, "wire": wire_pos, "ratio": wire.ratio},
+                        )
+                    )
+                if wire.demand > wire.ratio:
+                    report.violations.append(
+                        Violation(
+                            ViolationKind.TDM_WIRE_RATIO,
+                            f"wire {wire_pos} on edge {edge.index}: demand "
+                            f"{wire.demand} exceeds ratio {wire.ratio}",
+                            {
+                                "edge": edge.index,
+                                "wire": wire_pos,
+                                "demand": wire.demand,
+                                "ratio": wire.ratio,
+                            },
+                        )
+                    )
+                for net_index in wire.net_indices:
+                    use = (net_index, edge.index, wire.direction)
+                    ratio = solution.ratios.get(use)
+                    if ratio is None or abs(ratio - wire.ratio) > 1e-9:
+                        report.violations.append(
+                            Violation(
+                                ViolationKind.TDM_WIRE_RATIO,
+                                f"net {net_index} on wire {wire_pos} of edge "
+                                f"{edge.index}: net ratio {ratio} differs from "
+                                f"wire ratio {wire.ratio}",
+                                {"edge": edge.index, "wire": wire_pos, "net": net_index},
+                            )
+                        )
+            self._check_edge_assignment(solution, edge.index, wires, report)
+
+    def _check_edge_assignment(self, solution, edge_index, wires, report) -> None:
+        # Every net crossing the edge (per direction) must sit on exactly
+        # one wire of that direction.
+        for direction in (0, 1):
+            nets = solution.directed_tdm_nets(edge_index, direction)
+            assigned: Dict[int, int] = {}
+            for wire_pos, wire in enumerate(wires):
+                if wire.direction != direction:
+                    continue
+                for net_index in wire.net_indices:
+                    if net_index in assigned:
+                        report.violations.append(
+                            Violation(
+                                ViolationKind.TDM_ASSIGNMENT,
+                                f"net {net_index} assigned to wires {assigned[net_index]} "
+                                f"and {wire_pos} on edge {edge_index}",
+                                {"edge": edge_index, "net": net_index},
+                            )
+                        )
+                    assigned[net_index] = wire_pos
+            net_set = set(nets)
+            for net_index in nets:
+                if net_index not in assigned:
+                    report.violations.append(
+                        Violation(
+                            ViolationKind.TDM_ASSIGNMENT,
+                            f"net {net_index} crosses edge {edge_index} "
+                            f"direction {direction} but has no wire",
+                            {"edge": edge_index, "net": net_index, "direction": direction},
+                        )
+                    )
+            for net_index in assigned:
+                if net_index not in net_set:
+                    report.violations.append(
+                        Violation(
+                            ViolationKind.TDM_DIRECTION,
+                            f"net {net_index} assigned to a direction-{direction} wire "
+                            f"on edge {edge_index} but does not cross it that way",
+                            {"edge": edge_index, "net": net_index, "direction": direction},
+                        )
+                    )

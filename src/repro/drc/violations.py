@@ -1,0 +1,45 @@
+"""Violation types reported by the design-rule checker."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class ViolationKind(enum.Enum):
+    """Which design rule of Section II-B a violation breaks."""
+
+    #: A connection has no routed path, a broken path, or the union of a
+    #: net's paths contains a loop.
+    CONNECTIVITY = "connectivity"
+    #: An SLL edge routes more nets than it has physical wires.
+    SLL_CAPACITY = "sll_capacity"
+    #: A TDM wire's ratio is below its demand, not a multiple of the TDM
+    #: step, or inconsistent with the ratios of the nets it carries.
+    TDM_WIRE_RATIO = "tdm_wire_ratio"
+    #: A TDM edge uses more physical wires than its capacity.
+    TDM_CAPACITY = "tdm_capacity"
+    #: A TDM wire carries nets travelling in different directions, or a net
+    #: is assigned to a wire of the wrong direction.
+    TDM_DIRECTION = "tdm_direction"
+    #: A net crossing a TDM edge has no assigned ratio or no assigned wire.
+    TDM_ASSIGNMENT = "tdm_assignment"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One design-rule violation.
+
+    Attributes:
+        kind: the broken rule.
+        message: human-readable description.
+        details: structured context (edge/net/wire indices, quantities).
+    """
+
+    kind: ViolationKind
+    message: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[{self.kind.value}] {self.message}"

@@ -1,0 +1,180 @@
+"""The TDM slot-frame simulator.
+
+Mechanism (Fig. 1(b)/(c) of the paper): a physical TDM wire with ratio
+``r`` repeats a frame of ``r`` TDM-clock slots; each net assigned to the
+wire owns one slot of the frame (demand <= ratio guarantees a slot
+exists).  A value launched at TDM cycle ``t`` departs at the *next*
+occurrence of its slot; the wait is ``(slot - t) mod r`` cycles.  Over
+the ``r`` possible launch phases the wait is therefore:
+
+* worst case: ``r - 1`` cycles,
+* mean:       ``(r - 1) / 2`` cycles,
+* best:       ``0`` cycles.
+
+The abstract delay model prices a TDM hop at ``d0 + d1 * r``; with the
+default ``d1 = 0.5`` that is the mean slot wait plus a fixed ``d0 + 0.5``
+synchronization overhead — the simulator makes that correspondence
+checkable (see ``tests/test_emulation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.edges import EdgeKind
+from repro.route.solution import RoutingSolution
+from repro.timing.delay import DelayModel
+
+
+@dataclass(frozen=True)
+class WireSchedule:
+    """The simulated slot frame of one physical TDM wire.
+
+    Attributes:
+        edge_index / wire_position: which wire.
+        ratio: frame length in TDM cycles.
+        slots: slot index per net (every net of the wire owns one slot).
+    """
+
+    edge_index: int
+    wire_position: int
+    ratio: int
+    slots: Dict[int, int] = field(default_factory=dict)
+
+    def wait_cycles(self, net_index: int, launch_phase: int) -> int:
+        """TDM cycles from launch until the net's slot comes around."""
+        slot = self.slots[net_index]
+        return (slot - launch_phase) % self.ratio
+
+    def wait_statistics(self, net_index: int) -> Tuple[int, float, int]:
+        """(best, mean, worst) wait over every launch phase — exact."""
+        waits = [
+            self.wait_cycles(net_index, phase) for phase in range(self.ratio)
+        ]
+        return min(waits), sum(waits) / len(waits), max(waits)
+
+
+@dataclass(frozen=True)
+class ConnectionLatency:
+    """Simulated end-to-end latency of one connection, in TDM cycles.
+
+    Attributes:
+        connection_index: which connection.
+        best / mean / worst: latency over all launch phases, including the
+            per-hop ``d0`` overhead and SLL propagation.
+        model_delay: the abstract model's value for the same path.
+    """
+
+    connection_index: int
+    best: float
+    mean: float
+    worst: float
+    model_delay: float
+
+
+class TdmTransmissionSimulator:
+    """Replays the slot frames of a routed, wire-assigned solution."""
+
+    def __init__(
+        self,
+        solution: RoutingSolution,
+        delay_model: Optional[DelayModel] = None,
+    ) -> None:
+        self.solution = solution
+        self.delay_model = delay_model if delay_model is not None else DelayModel()
+        self._schedules: Dict[Tuple[int, int], WireSchedule] = {}
+        for edge_index, wires in solution.wires.items():
+            for position, wire in enumerate(wires):
+                if wire.demand == 0:
+                    continue
+                # Round-robin slot assignment in wire order; demand <= ratio
+                # guarantees distinct slots.
+                slots = {
+                    net: slot for slot, net in enumerate(wire.net_indices)
+                }
+                self._schedules[(edge_index, position)] = WireSchedule(
+                    edge_index=edge_index,
+                    wire_position=position,
+                    ratio=int(wire.ratio),
+                    slots=slots,
+                )
+
+    # ------------------------------------------------------------------
+    def wire_schedule(self, edge_index: int, wire_position: int) -> WireSchedule:
+        """The simulated frame of one wire.
+
+        Raises:
+            KeyError: for unoccupied or unknown wires.
+        """
+        return self._schedules[(edge_index, wire_position)]
+
+    def net_wait_statistics(
+        self, net_index: int, edge_index: int, direction: int
+    ) -> Tuple[int, float, int]:
+        """(best, mean, worst) slot wait of a net on a directed edge."""
+        position = self.solution.net_wire[(net_index, edge_index, direction)]
+        return self._schedules[(edge_index, position)].wait_statistics(net_index)
+
+    def connection_latency(self, connection_index: int) -> ConnectionLatency:
+        """Simulated latency of one connection vs the abstract model."""
+        model = self.delay_model
+        conn = self.solution.netlist.connections[connection_index]
+        best = mean = worst = 0.0
+        model_delay = 0.0
+        for edge_index, direction in self.solution.path_hops(connection_index):
+            edge = self.solution.system.edge(edge_index)
+            if edge.kind is EdgeKind.SLL:
+                # SLL propagation is constant: same for all three bounds.
+                best += model.d_sll
+                mean += model.d_sll
+                worst += model.d_sll
+                model_delay += model.d_sll
+            else:
+                wait_best, wait_mean, wait_worst = self.net_wait_statistics(
+                    conn.net_index, edge_index, direction
+                )
+                best += model.d0 + wait_best
+                mean += model.d0 + wait_mean
+                worst += model.d0 + wait_worst
+                ratio = self.solution.ratios[(conn.net_index, edge_index, direction)]
+                model_delay += model.tdm_delay(ratio)
+        return ConnectionLatency(
+            connection_index=connection_index,
+            best=best,
+            mean=mean,
+            worst=worst,
+            model_delay=model_delay,
+        )
+
+    def validate_model(self) -> List[str]:
+        """Check the abstract model against the simulated mechanism.
+
+        For every routed connection the model value must bracket the
+        simulated mean and never undercut it when ``d1 * r`` is at least
+        the mean wait — i.e. ``mean <= model <= worst + d0-slack``.
+        Returns human-readable discrepancies (empty = consistent).
+        """
+        problems: List[str] = []
+        model = self.delay_model
+        for conn in self.solution.netlist.connections:
+            if self.solution.path(conn.index) is None:
+                continue
+            latency = self.connection_latency(conn.index)
+            if latency.model_delay < latency.mean - 1e-9:
+                problems.append(
+                    f"connection {conn.index}: model {latency.model_delay:.2f} "
+                    f"below simulated mean {latency.mean:.2f}"
+                )
+            # The model must stay within one frame of the simulated worst.
+            slack = sum(
+                model.d1 * self.solution.ratios[(conn.net_index, e, d)]
+                for e, d in self.solution.path_hops(conn.index)
+                if self.solution.system.edge(e).kind is EdgeKind.TDM
+            )
+            if latency.model_delay > latency.worst + slack + 1e-9:
+                problems.append(
+                    f"connection {conn.index}: model {latency.model_delay:.2f} "
+                    f"beyond simulated worst {latency.worst:.2f} + slack"
+                )
+        return problems

@@ -1,0 +1,147 @@
+"""Solution file format.
+
+Line-oriented, ``#`` comments::
+
+    PATH <net_name> <sink_die> <die0> <die1> ...   # one per connection
+    WIRE <die_a> <die_b> <direction> <ratio> <net_name>...   # one per wire
+
+``PATH`` lines give the routed die sequence of each connection (identified
+by net name + sink die).  ``WIRE`` lines enumerate each physical TDM
+wire's direction (0 = die_a->die_b), ratio and assigned nets; net ratios
+are implied by their wire.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+from repro.arch.edges import EdgeKind, TdmWire
+from repro.arch.system import MultiFpgaSystem
+from repro.netlist.netlist import Netlist
+from repro.route.solution import RoutingSolution
+
+
+class SolutionFormatError(ValueError):
+    """Raised on malformed solution files."""
+
+
+def write_solution(solution: RoutingSolution) -> str:
+    """Serialize a solution to text."""
+    netlist = solution.netlist
+    system = solution.system
+    lines = ["# die-level routing solution"]
+    for conn in netlist.connections:
+        path = solution.path(conn.index)
+        if path is None:
+            continue
+        net = netlist.net(conn.net_index)
+        dies = " ".join(str(d) for d in path)
+        lines.append(f"PATH {net.name} {conn.sink_die} {dies}")
+    for edge_index in sorted(solution.wires):
+        edge = system.edge(edge_index)
+        for wire in solution.wires[edge_index]:
+            names = " ".join(
+                netlist.net(net_index).name for net_index in wire.net_indices
+            )
+            lines.append(
+                f"WIRE {edge.die_a} {edge.die_b} {wire.direction} "
+                f"{wire.ratio} {names}".rstrip()
+            )
+    return "\n".join(lines) + "\n"
+
+
+def write_solution_file(path: Union[str, Path], solution: RoutingSolution) -> None:
+    """Write a solution to a file (``.gz`` transparently supported)."""
+    from repro.io.contest_format import write_text_maybe_gzip
+
+    write_text_maybe_gzip(path, write_solution(solution))
+
+
+def parse_solution(
+    text: str,
+    system: MultiFpgaSystem,
+    netlist: Netlist,
+) -> RoutingSolution:
+    """Parse a solution against its case.
+
+    Raises:
+        SolutionFormatError: on malformed lines, unknown nets, or paths
+            that do not match any connection.
+    """
+    solution = RoutingSolution(system, netlist)
+    conn_by_key: Dict[Tuple[int, int], int] = {
+        (conn.net_index, conn.sink_die): conn.index
+        for conn in netlist.connections
+    }
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        keyword = fields[0].upper()
+        if keyword == "PATH":
+            if len(fields) < 4:
+                raise SolutionFormatError(
+                    f"line {line_no}: PATH needs: net sink die..."
+                )
+            net = netlist.net_by_name(fields[1])
+            if net is None:
+                raise SolutionFormatError(f"line {line_no}: unknown net {fields[1]!r}")
+            sink = int(fields[2])
+            conn_index = conn_by_key.get((net.index, sink))
+            if conn_index is None:
+                raise SolutionFormatError(
+                    f"line {line_no}: net {fields[1]!r} has no connection to die {sink}"
+                )
+            try:
+                solution.set_path(conn_index, [int(f) for f in fields[3:]])
+            except ValueError as exc:
+                raise SolutionFormatError(f"line {line_no}: {exc}") from exc
+        elif keyword == "WIRE":
+            if len(fields) < 5:
+                raise SolutionFormatError(
+                    f"line {line_no}: WIRE needs: die_a die_b dir ratio net..."
+                )
+            die_a, die_b = int(fields[1]), int(fields[2])
+            edge = system.edge_between(die_a, die_b)
+            if edge is None or edge.kind is not EdgeKind.TDM:
+                raise SolutionFormatError(
+                    f"line {line_no}: no TDM edge between dies {die_a} and {die_b}"
+                )
+            direction = int(fields[3])
+            if direction not in (0, 1):
+                raise SolutionFormatError(f"line {line_no}: direction must be 0 or 1")
+            wire = TdmWire(
+                edge_index=edge.index, direction=direction, ratio=int(fields[4])
+            )
+            for name in fields[5:]:
+                net = netlist.net_by_name(name)
+                if net is None:
+                    raise SolutionFormatError(
+                        f"line {line_no}: unknown net {name!r}"
+                    )
+                wire.add_net(net.index)
+                use = (net.index, edge.index, direction)
+                solution.ratios[use] = float(wire.ratio)
+            wires = solution.wires.setdefault(edge.index, [])
+            position = len(wires)
+            wires.append(wire)
+            for net_index in wire.net_indices:
+                solution.net_wire[(net_index, edge.index, direction)] = position
+        else:
+            raise SolutionFormatError(
+                f"line {line_no}: unknown keyword {fields[0]!r}"
+            )
+    return solution
+
+
+def parse_solution_file(
+    path: Union[str, Path],
+    system: MultiFpgaSystem,
+    netlist: Netlist,
+) -> RoutingSolution:
+    """Parse a solution file against its case (``.gz`` supported)."""
+    from repro.io.contest_format import read_text_maybe_gzip
+
+    return parse_solution(read_text_maybe_gzip(path), system, netlist)

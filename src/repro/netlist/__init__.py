@@ -1,0 +1,13 @@
+"""Netlist model: nets, pins on dies, and die-to-die connections.
+
+Die-level partitioning assigns every cell of the design to a die, so at the
+system-routing level a net is fully described by its *source die* and its
+*sink dies*.  The router decomposes each net into two-pin *connections*
+(source die, sink die), routes each connection, and evaluates the critical
+connection delay over all connections (Eq. 1 of the paper).
+"""
+
+from repro.netlist.net import Connection, Net
+from repro.netlist.netlist import Netlist
+
+__all__ = ["Connection", "Net", "Netlist"]

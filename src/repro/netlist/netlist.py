@@ -1,0 +1,108 @@
+"""Netlist container with connection decomposition and statistics."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.netlist.net import Connection, Net
+
+
+class Netlist:
+    """An ordered collection of nets with derived connections.
+
+    Nets are re-indexed on construction so that ``netlist.nets[i].index == i``.
+    The *connections* (Table I's set C) are the (source die, sink die) pairs
+    of every die-crossing sink, indexed contiguously.
+
+    Args:
+        nets: the nets of the design.  Names must be unique.
+    """
+
+    def __init__(self, nets: Iterable[Net]) -> None:
+        self._nets: List[Net] = [
+            net.with_index(i) for i, net in enumerate(nets)
+        ]
+        names = {net.name for net in self._nets}
+        if len(names) != len(self._nets):
+            raise ValueError("net names must be unique")
+        self._by_name: Dict[str, Net] = {net.name: net for net in self._nets}
+        self._connections: List[Connection] = []
+        self._net_connections: List[List[int]] = [[] for _ in self._nets]
+        for net in self._nets:
+            for sink in net.crossing_sink_dies:
+                conn = Connection(
+                    index=len(self._connections),
+                    net_index=net.index,
+                    source_die=net.source_die,
+                    sink_die=sink,
+                )
+                self._net_connections[net.index].append(conn.index)
+                self._connections.append(conn)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def nets(self) -> Sequence[Net]:
+        """All nets, indexed by ``Net.index``."""
+        return self._nets
+
+    @property
+    def connections(self) -> Sequence[Connection]:
+        """All die-crossing connections, indexed by ``Connection.index``."""
+        return self._connections
+
+    @property
+    def num_nets(self) -> int:
+        """Number of nets."""
+        return len(self._nets)
+
+    @property
+    def num_connections(self) -> int:
+        """Number of die-crossing connections."""
+        return len(self._connections)
+
+    def net(self, index: int) -> Net:
+        """Return the net with the given index."""
+        return self._nets[index]
+
+    def net_by_name(self, name: str) -> Optional[Net]:
+        """Return the net with the given name, or ``None``."""
+        return self._by_name.get(name)
+
+    def connections_of(self, net_index: int) -> List[Connection]:
+        """Return the connections of a net."""
+        return [self._connections[i] for i in self._net_connections[net_index]]
+
+    def connection_indices_of(self, net_index: int) -> List[int]:
+        """Return the connection indices of a net."""
+        return self._net_connections[net_index]
+
+    def crossing_nets(self) -> Iterator[Net]:
+        """Yield the nets that have at least one die-crossing connection."""
+        return (net for net in self._nets if net.is_die_crossing)
+
+    def max_die_index(self) -> int:
+        """Largest die index referenced by any pin (-1 for an empty netlist)."""
+        largest = -1
+        for net in self._nets:
+            largest = max(largest, net.source_die, *net.sink_dies)
+        return largest
+
+    def validate_against(self, num_dies: int) -> None:
+        """Raise ``ValueError`` if any pin references a die >= ``num_dies``."""
+        worst = self.max_die_index()
+        if worst >= num_dies:
+            raise ValueError(
+                f"netlist references die {worst} but the system has only "
+                f"{num_dies} dies"
+            )
+
+    def __len__(self) -> int:
+        return len(self._nets)
+
+    def __iter__(self) -> Iterator[Net]:
+        return iter(self._nets)
+
+    def __repr__(self) -> str:
+        return f"Netlist(nets={self.num_nets}, connections={self.num_connections})"

@@ -1,0 +1,5 @@
+"""Parallel-map substrate standing in for the paper's OpenMP threading."""
+
+from repro.parallel.executor import ParallelExecutor, chunked
+
+__all__ = ["ParallelExecutor", "chunked"]

@@ -1,0 +1,58 @@
+"""Chunked parallel map.
+
+The paper parallelizes phase II with OpenMP: per-TDM-edge work (Eq. 12
+solves, legalization, wire assignment) and per-connection reductions.  In
+Python the numerically heavy reductions are vectorized with numpy instead
+(see :mod:`repro.core.lagrangian`); this executor covers the remaining
+per-edge, object-level work.  Threads are used because the per-edge work
+is dominated by numpy calls that release the GIL; callers can force
+sequential execution (the paper, likewise, uses one thread for designs
+under 200k nets to avoid scheduling overhead).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Iterator, List, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def chunked(items: Sequence[T], chunk_size: int) -> Iterator[List[T]]:
+    """Split ``items`` into consecutive chunks of at most ``chunk_size``."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    for start in range(0, len(items), chunk_size):
+        yield list(items[start : start + chunk_size])
+
+
+class ParallelExecutor:
+    """Maps a function over items, sequentially or with a thread pool.
+
+    Args:
+        num_workers: worker threads; ``0`` or ``1`` runs sequentially;
+            ``None`` picks ``min(10, cpu_count)`` mirroring the paper's
+            10-thread setup.
+    """
+
+    def __init__(self, num_workers: int = 1) -> None:
+        if num_workers is None:
+            num_workers = min(10, os.cpu_count() or 1)
+        if num_workers < 0:
+            raise ValueError("num_workers must be non-negative")
+        self.num_workers = num_workers
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether work is dispatched to a thread pool."""
+        return self.num_workers > 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """Apply ``fn`` to every item, preserving order."""
+        items = list(items)
+        if not self.is_parallel or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
+            return list(pool.map(fn, items))

@@ -1,0 +1,256 @@
+"""Fiduccia–Mattheyses min-cut bipartitioning.
+
+Classic FM with gain buckets: repeated passes move one cell at a time
+(locking it), always the highest-gain movable cell whose move keeps both
+sides within their area capacities; at the end of a pass the best prefix
+of moves is kept.  Passes repeat until no pass improves the cut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass
+class FmResult:
+    """Output of FM bipartitioning.
+
+    Attributes:
+        sides: per-cell side label (0 or 1).
+        cut_size: number of hyperedges spanning both sides.
+        passes: improvement passes executed.
+        side_areas: total area per side.
+    """
+
+    sides: List[int]
+    cut_size: int
+    passes: int
+    side_areas: Tuple[float, float]
+
+
+def _initial_sides(
+    areas: Sequence[float],
+    capacities: Tuple[float, float],
+    order: Sequence[int],
+) -> List[int]:
+    """Greedy area-balanced initial assignment following ``order``.
+
+    Prefers the side with the most headroom *among the sides the cell
+    fits on*; when neither fits (capacities too tight for this packing
+    order) the max-headroom side takes it and the caller's validation
+    reports the problem.
+    """
+    sides = [0] * len(areas)
+    fill = [0.0, 0.0]
+    for cell in order:
+        headroom = [capacities[0] - fill[0], capacities[1] - fill[1]]
+        fitting = [s for s in (0, 1) if areas[cell] <= headroom[s] + 1e-9]
+        if fitting:
+            side = max(fitting, key=lambda s: headroom[s])
+        else:
+            side = 0 if headroom[0] >= headroom[1] else 1
+        sides[cell] = side
+        fill[side] += areas[cell]
+    return sides
+
+
+def _compute_gains(
+    num_cells: int,
+    edges: Sequence[Tuple[int, ...]],
+    sides: Sequence[int],
+) -> List[int]:
+    """FM gains: cut reduction if the cell moved to the other side."""
+    gains = [0] * num_cells
+    for edge in edges:
+        on_side = [0, 0]
+        for cell in edge:
+            on_side[sides[cell]] += 1
+        for cell in edge:
+            side = sides[cell]
+            if on_side[side] == 1:
+                gains[cell] += 1  # moving uncuts (or keeps uncut) the edge
+            if on_side[1 - side] == 0:
+                gains[cell] -= 1  # moving newly cuts the edge
+    return gains
+
+
+def fm_bipartition(
+    num_cells: int,
+    edges: Sequence[Tuple[int, ...]],
+    areas: Optional[Sequence[float]] = None,
+    capacities: Optional[Tuple[float, float]] = None,
+    initial_sides: Optional[Sequence[int]] = None,
+    max_passes: int = 10,
+) -> FmResult:
+    """Bipartition cells to minimize the hyperedge cut.
+
+    Args:
+        num_cells: number of cells (indices 0..num_cells-1).
+        edges: hyperedges as tuples of cell indices.
+        areas: per-cell areas (default all 1).
+        capacities: per-side area capacities; default splits the total
+            area with 10% slack per side.
+        initial_sides: starting assignment; default greedy balanced.
+        max_passes: maximum improvement passes.
+
+    Returns:
+        The best assignment found.
+
+    Raises:
+        ValueError: if the capacities cannot hold the total area or the
+            initial assignment violates them.
+    """
+    if areas is None:
+        areas = [1.0] * num_cells
+    total_area = float(sum(areas))
+    max_area = max(areas, default=0.0)
+    if capacities is None:
+        # Half the area plus one largest cell per side: enough headroom
+        # that a perfectly balanced partition can still move single cells.
+        slack = total_area / 2 + max_area
+        capacities = (slack, slack)
+    if capacities[0] + capacities[1] < total_area - 1e-9:
+        raise ValueError("side capacities cannot hold the total area")
+
+    if initial_sides is None:
+        order = sorted(range(num_cells), key=lambda c: -areas[c])
+        sides = _initial_sides(areas, capacities, order)
+    else:
+        sides = list(initial_sides)
+    fill = [0.0, 0.0]
+    for cell in range(num_cells):
+        fill[sides[cell]] += areas[cell]
+    if fill[0] > capacities[0] + 1e-9 or fill[1] > capacities[1] + 1e-9:
+        raise ValueError("initial assignment violates side capacities")
+
+    # Cell -> incident edge indices.
+    incident: List[List[int]] = [[] for _ in range(num_cells)]
+    for edge_index, edge in enumerate(edges):
+        for cell in edge:
+            incident[cell].append(edge_index)
+
+    def cut_size() -> int:
+        cut = 0
+        for edge in edges:
+            first = sides[edge[0]]
+            if any(sides[cell] != first for cell in edge[1:]):
+                cut += 1
+        return cut
+
+    best_cut = cut_size()
+    passes = 0
+    for _ in range(max_passes):
+        improved = _fm_pass(
+            num_cells, edges, incident, areas, capacities, sides, fill
+        )
+        passes += 1
+        new_cut = cut_size()
+        if new_cut < best_cut:
+            best_cut = new_cut
+        if not improved:
+            break
+    return FmResult(
+        sides=sides,
+        cut_size=cut_size(),
+        passes=passes,
+        side_areas=(fill[0], fill[1]),
+    )
+
+
+def _fm_pass(
+    num_cells: int,
+    edges: Sequence[Tuple[int, ...]],
+    incident: Sequence[Sequence[int]],
+    areas: Sequence[float],
+    capacities: Tuple[float, float],
+    sides: List[int],
+    fill: List[float],
+) -> bool:
+    """One FM pass; mutates ``sides``/``fill``.  Returns True if the pass
+    found a strictly better prefix (the cut improved)."""
+    gains = _compute_gains(num_cells, edges, sides)
+    locked = [False] * num_cells
+    moves: List[int] = []
+    gain_trace: List[int] = []
+
+    # Per-edge side counters, updated incrementally.
+    on_side: List[List[int]] = []
+    for edge in edges:
+        counts = [0, 0]
+        for cell in edge:
+            counts[sides[cell]] += 1
+        on_side.append(counts)
+
+    for _ in range(num_cells):
+        # Pick the best movable cell (highest gain, feasible move).
+        best_cell = -1
+        best_gain = None
+        for cell in range(num_cells):
+            if locked[cell]:
+                continue
+            target = 1 - sides[cell]
+            if fill[target] + areas[cell] > capacities[target] + 1e-9:
+                continue
+            if best_gain is None or gains[cell] > best_gain or (
+                gains[cell] == best_gain and cell < best_cell
+            ):
+                best_gain = gains[cell]
+                best_cell = cell
+        if best_cell < 0:
+            break
+        cell = best_cell
+        source = sides[cell]
+        target = 1 - source
+
+        # Update gains of neighbours (standard FM update rules).
+        for edge_index in incident[cell]:
+            edge = edges[edge_index]
+            counts = on_side[edge_index]
+            # Before the move.
+            if counts[target] == 0:
+                for other in edge:
+                    if not locked[other]:
+                        gains[other] += 1
+            elif counts[target] == 1:
+                for other in edge:
+                    if not locked[other] and sides[other] == target:
+                        gains[other] -= 1
+            counts[source] -= 1
+            counts[target] += 1
+            # After the move.
+            if counts[source] == 0:
+                for other in edge:
+                    if not locked[other]:
+                        gains[other] -= 1
+            elif counts[source] == 1:
+                for other in edge:
+                    if not locked[other] and sides[other] == source:
+                        gains[other] += 1
+
+        sides[cell] = target
+        fill[source] -= areas[cell]
+        fill[target] += areas[cell]
+        locked[cell] = True
+        moves.append(cell)
+        gain_trace.append(best_gain)
+
+    if not moves:
+        return False
+    # Keep the best prefix of the move sequence.
+    prefix_sum = 0
+    best_sum = 0
+    best_prefix = 0
+    for index, gain in enumerate(gain_trace, start=1):
+        prefix_sum += gain
+        if prefix_sum > best_sum:
+            best_sum = prefix_sum
+            best_prefix = index
+    # Roll back moves beyond the best prefix.
+    for cell in moves[best_prefix:]:
+        source = sides[cell]
+        target = 1 - source
+        sides[cell] = target
+        fill[source] -= areas[cell]
+        fill[target] += areas[cell]
+    return best_sum > 0

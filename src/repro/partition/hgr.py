@@ -1,0 +1,137 @@
+"""hMETIS ``.hgr`` hypergraph interchange.
+
+The hMETIS format is the lingua franca of partitioning benchmarks
+(ISPD98/ISPD2005 suites etc.)::
+
+    <num_hyperedges> <num_vertices> [fmt]
+    <v1> <v2> ...        # one line per hyperedge, 1-indexed vertices
+    ...
+    [<vertex weight>]    # one line per vertex when fmt includes 10
+
+Supported ``fmt`` values: absent/0 (unweighted), ``10`` (vertex weights).
+Hyperedge weights (``1``/``11``) are parsed and ignored with a warning
+comment in the returned netlist name, since the cut objective here is
+unweighted (as in the paper's contest).
+
+Reading produces a :class:`~repro.partition.logic.LogicNetlist` whose
+cells are ``v1..vN`` and whose first-listed vertex per hyperedge is
+treated as the driver.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.partition.logic import Cell, LogicNet, LogicNetlist
+
+
+class HgrFormatError(ValueError):
+    """Raised on malformed .hgr content."""
+
+
+def parse_hgr(text: str) -> LogicNetlist:
+    """Parse hMETIS hypergraph text into a logic netlist.
+
+    Raises:
+        HgrFormatError: on malformed headers, vertex indices out of range,
+            or missing weight lines.
+    """
+    lines = [
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.lstrip().startswith("%")
+    ]
+    if not lines:
+        raise HgrFormatError("empty .hgr file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise HgrFormatError("header needs: num_hyperedges num_vertices [fmt]")
+    try:
+        num_edges = int(header[0])
+        num_vertices = int(header[1])
+        fmt = int(header[2]) if len(header) > 2 else 0
+    except ValueError as exc:
+        raise HgrFormatError(f"malformed header: {exc}") from exc
+    if num_edges < 0 or num_vertices <= 0:
+        raise HgrFormatError("counts must be positive")
+    if fmt not in (0, 1, 10, 11):
+        raise HgrFormatError(f"unsupported fmt {fmt}")
+    edge_weighted = fmt in (1, 11)
+    vertex_weighted = fmt in (10, 11)
+
+    body = lines[1:]
+    if len(body) < num_edges:
+        raise HgrFormatError(
+            f"expected {num_edges} hyperedge lines, found {len(body)}"
+        )
+    nets: List[LogicNet] = []
+    for edge_index in range(num_edges):
+        fields = body[edge_index].split()
+        if edge_weighted:
+            fields = fields[1:]  # hyperedge weight ignored
+        try:
+            vertices = [int(f) for f in fields]
+        except ValueError as exc:
+            raise HgrFormatError(
+                f"hyperedge {edge_index + 1}: non-integer vertex: {exc}"
+            ) from exc
+        for vertex in vertices:
+            if not 1 <= vertex <= num_vertices:
+                raise HgrFormatError(
+                    f"hyperedge {edge_index + 1}: vertex {vertex} out of range"
+                )
+        if len(set(vertices)) < 2:
+            continue  # self-loops / single-pin nets carry no cut
+        nets.append(
+            LogicNet(
+                name=f"e{edge_index + 1}",
+                cell_names=tuple(f"v{v}" for v in vertices),
+            )
+        )
+
+    areas = [1.0] * num_vertices
+    if vertex_weighted:
+        weight_lines = body[num_edges:]
+        if len(weight_lines) < num_vertices:
+            raise HgrFormatError(
+                f"expected {num_vertices} vertex weight lines, found "
+                f"{len(weight_lines)}"
+            )
+        for vertex in range(num_vertices):
+            try:
+                areas[vertex] = float(weight_lines[vertex].split()[0])
+            except (ValueError, IndexError) as exc:
+                raise HgrFormatError(
+                    f"vertex weight {vertex + 1}: {exc}"
+                ) from exc
+            if areas[vertex] <= 0:
+                raise HgrFormatError(
+                    f"vertex weight {vertex + 1} must be positive"
+                )
+
+    cells = [Cell(name=f"v{i + 1}", area=areas[i]) for i in range(num_vertices)]
+    return LogicNetlist(cells, nets)
+
+
+def read_hgr(path: Union[str, Path]) -> LogicNetlist:
+    """Read a .hgr file."""
+    return parse_hgr(Path(path).read_text())
+
+
+def write_hgr(design: LogicNetlist) -> str:
+    """Serialize a logic netlist as hMETIS text (with vertex weights)."""
+    weighted = any(abs(cell.area - 1.0) > 1e-12 for cell in design.cells)
+    fmt = " 10" if weighted else ""
+    lines = [f"{design.num_nets} {design.num_cells}{fmt}"]
+    for edge in design.edges:
+        lines.append(" ".join(str(v + 1) for v in edge))
+    if weighted:
+        for cell in design.cells:
+            lines.append(repr(cell.area))
+    return "\n".join(lines) + "\n"
+
+
+def write_hgr_file(path: Union[str, Path], design: LogicNetlist) -> None:
+    """Write a logic netlist as a .hgr file."""
+    Path(path).write_text(write_hgr(design))

@@ -1,0 +1,124 @@
+"""Flat logic netlist model for the partitioning stage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A placeable cell (gate, LUT cluster, macro).
+
+    Attributes:
+        name: unique cell name.
+        area: placement area consumed on a die (> 0).
+        index: position in the owning netlist; assigned on construction.
+    """
+
+    name: str
+    area: float = 1.0
+    index: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.area <= 0:
+            raise ValueError(f"cell {self.name!r}: area must be positive")
+
+    def with_index(self, index: int) -> "Cell":
+        """Copy with ``index`` assigned."""
+        return Cell(name=self.name, area=self.area, index=index)
+
+
+@dataclass(frozen=True)
+class LogicNet:
+    """A multi-terminal net of the flat design.
+
+    Attributes:
+        name: unique net name.
+        cell_names: connected cells; the first is the driver.
+    """
+
+    name: str
+    cell_names: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.cell_names) < 2:
+            raise ValueError(f"net {self.name!r}: a net connects >= 2 cells")
+        if len(set(self.cell_names)) != len(self.cell_names):
+            deduped = tuple(dict.fromkeys(self.cell_names))
+            if len(deduped) < 2:
+                raise ValueError(f"net {self.name!r}: a net connects >= 2 cells")
+            object.__setattr__(self, "cell_names", deduped)
+
+    @property
+    def driver(self) -> str:
+        """The driving cell's name."""
+        return self.cell_names[0]
+
+    @property
+    def sinks(self) -> Tuple[str, ...]:
+        """The sink cells' names."""
+        return self.cell_names[1:]
+
+
+class LogicNetlist:
+    """A flat design: cells plus hyperedge nets.
+
+    Args:
+        cells: the cells; names must be unique.
+        nets: the nets; names must be unique and reference known cells.
+    """
+
+    def __init__(self, cells: Iterable[Cell], nets: Iterable[LogicNet]) -> None:
+        self.cells: List[Cell] = [c.with_index(i) for i, c in enumerate(cells)]
+        self._cell_index: Dict[str, int] = {}
+        for cell in self.cells:
+            if cell.name in self._cell_index:
+                raise ValueError(f"duplicate cell name {cell.name!r}")
+            self._cell_index[cell.name] = cell.index
+        self.nets: List[LogicNet] = list(nets)
+        seen = set()
+        for net in self.nets:
+            if net.name in seen:
+                raise ValueError(f"duplicate net name {net.name!r}")
+            seen.add(net.name)
+            for cell_name in net.cell_names:
+                if cell_name not in self._cell_index:
+                    raise ValueError(
+                        f"net {net.name!r} references unknown cell {cell_name!r}"
+                    )
+        # Hyperedges as cell-index tuples, for the partitioners.
+        self.edges: List[Tuple[int, ...]] = [
+            tuple(self._cell_index[name] for name in net.cell_names)
+            for net in self.nets
+        ]
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells."""
+        return len(self.cells)
+
+    @property
+    def num_nets(self) -> int:
+        """Number of nets."""
+        return len(self.nets)
+
+    def cell_index(self, name: str) -> int:
+        """Index of the cell with the given name."""
+        return self._cell_index[name]
+
+    def total_area(self) -> float:
+        """Total cell area."""
+        return sum(cell.area for cell in self.cells)
+
+    def cut_size(self, sides: Sequence[int]) -> int:
+        """Number of nets spanning more than one side label."""
+        cut = 0
+        for edge in self.edges:
+            labels = {sides[cell] for cell in edge}
+            if len(labels) > 1:
+                cut += 1
+        return cut
+
+    def __repr__(self) -> str:
+        return f"LogicNetlist(cells={self.num_cells}, nets={self.num_nets})"

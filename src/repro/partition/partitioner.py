@@ -1,0 +1,143 @@
+"""Recursive bisection of a flat design onto the dies of a system.
+
+The die set is split recursively (keeping FPGAs together as long as
+possible, so the expensive TDM cut happens at the top of the recursion,
+exactly like production die-level partitioners), FM bipartitioning the
+cell set at each level.  The placed design converts directly into the
+router's die-level :class:`~repro.netlist.Netlist`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.arch.system import MultiFpgaSystem
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+from repro.partition.fm import fm_bipartition
+from repro.partition.logic import LogicNetlist
+
+
+@dataclass
+class PartitionResult:
+    """Output of die-level partitioning.
+
+    Attributes:
+        assignment: per-cell die index.
+        die_areas: total cell area per die.
+        cut_nets: number of logic nets spanning more than one die.
+    """
+
+    assignment: List[int]
+    die_areas: Dict[int, float]
+    cut_nets: int
+
+
+class DiePartitioner:
+    """Recursively bisects a logic netlist onto a system's dies.
+
+    Args:
+        system: the target multi-FPGA system.
+        balance_slack: allowed per-die area overfill as a fraction of the
+            perfectly balanced share (0.15 = up to 15% over).
+        max_passes: FM passes per bisection level.
+    """
+
+    def __init__(
+        self,
+        system: MultiFpgaSystem,
+        balance_slack: float = 0.15,
+        max_passes: int = 8,
+    ) -> None:
+        if balance_slack < 0:
+            raise ValueError("balance_slack must be non-negative")
+        self.system = system
+        self.balance_slack = balance_slack
+        self.max_passes = max_passes
+
+    # ------------------------------------------------------------------
+    def partition(self, design: LogicNetlist) -> PartitionResult:
+        """Assign every cell to a die."""
+        die_order = self._die_order()
+        assignment = [-1] * design.num_cells
+        cells = list(range(design.num_cells))
+        self._bisect(design, cells, die_order, assignment)
+        die_areas: Dict[int, float] = {}
+        for cell_index, die in enumerate(assignment):
+            die_areas[die] = die_areas.get(die, 0.0) + design.cells[cell_index].area
+        cut = 0
+        for edge in design.edges:
+            if len({assignment[cell] for cell in edge}) > 1:
+                cut += 1
+        return PartitionResult(
+            assignment=assignment, die_areas=die_areas, cut_nets=cut
+        )
+
+    def to_die_netlist(
+        self, design: LogicNetlist, result: PartitionResult
+    ) -> Netlist:
+        """Convert a placed design into the router's die-level netlist."""
+        nets: List[Net] = []
+        for net, edge in zip(design.nets, design.edges):
+            source_die = result.assignment[edge[0]]
+            sink_dies = tuple(
+                dict.fromkeys(result.assignment[cell] for cell in edge[1:])
+            )
+            nets.append(Net(name=net.name, source_die=source_die, sink_dies=sink_dies))
+        return Netlist(nets)
+
+    # ------------------------------------------------------------------
+    def _die_order(self) -> List[int]:
+        """Dies grouped FPGA by FPGA so bisection cuts FPGAs first."""
+        order: List[int] = []
+        for fpga in self.system.fpgas:
+            order.extend(fpga.die_indices)
+        return order
+
+    def _bisect(
+        self,
+        design: LogicNetlist,
+        cells: List[int],
+        dies: Sequence[int],
+        assignment: List[int],
+    ) -> None:
+        if len(dies) == 1:
+            for cell in cells:
+                assignment[cell] = dies[0]
+            return
+        if not cells:
+            # No cells left for this die subtree; nothing to place.
+            return
+        half = (len(dies) + 1) // 2
+        dies_left, dies_right = dies[:half], dies[half:]
+
+        # Build the sub-hypergraph induced by the cell subset.
+        local_index = {cell: i for i, cell in enumerate(cells)}
+        local_edges: List[Tuple[int, ...]] = []
+        for edge in design.edges:
+            members = tuple(local_index[c] for c in edge if c in local_index)
+            if len(members) >= 2:
+                local_edges.append(members)
+        areas = [design.cells[c].area for c in cells]
+        total = sum(areas)
+        max_area = max(areas)
+        share_left = total * len(dies_left) / len(dies)
+        share_right = total - share_left
+        slack = 1.0 + self.balance_slack
+        # One largest cell of extra headroom per side keeps every greedy
+        # packing and every single-cell FM move feasible.
+        result = fm_bipartition(
+            num_cells=len(cells),
+            edges=local_edges,
+            areas=areas,
+            capacities=(
+                share_left * slack + max_area + 1e-9,
+                share_right * slack + max_area + 1e-9,
+            ),
+            max_passes=self.max_passes,
+        )
+        left = [cells[i] for i in range(len(cells)) if result.sides[i] == 0]
+        right = [cells[i] for i in range(len(cells)) if result.sides[i] == 1]
+        self._bisect(design, left, dies_left, assignment)
+        self._bisect(design, right, dies_right, assignment)

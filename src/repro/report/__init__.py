@@ -1,0 +1,27 @@
+"""Human-readable text reports over systems and routing solutions."""
+
+from repro.report.text import (
+    solution_report,
+    system_report,
+    timing_report_text,
+    utilization_report,
+)
+from repro.report.topology import path_diagram, topology_diagram
+from repro.report.summary import solution_summary, write_summary_json
+from repro.report.svg import render_svg, write_svg
+from repro.report.html import render_html, write_html
+
+__all__ = [
+    "path_diagram",
+    "render_html",
+    "render_svg",
+    "write_html",
+    "solution_summary",
+    "write_summary_json",
+    "write_svg",
+    "solution_report",
+    "system_report",
+    "timing_report_text",
+    "topology_diagram",
+    "utilization_report",
+]

@@ -1,0 +1,125 @@
+"""Self-contained HTML reports.
+
+One file, no external assets: the SVG topology rendering inline, the
+headline numbers, the per-edge utilization table and the delay histogram.
+Intended as the artifact a routing run attaches to a CI job or an email.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.report.summary import solution_summary
+from repro.report.svg import render_svg
+from repro.route.solution import RoutingSolution
+from repro.timing.delay import DelayModel
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       color: #222; max-width: 70em; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #ccc; padding: 3px 10px; text-align: right; }
+th { background: #f0f0f0; }
+.ok { color: #2a7d2a; font-weight: 600; } .bad { color: #b02a2a; font-weight: 600; }
+.bar { display: inline-block; height: 10px; background: #4a7dc0; }
+"""
+
+
+def _histogram_rows(histogram, critical):
+    if not histogram or critical is None or critical <= 0:
+        return ""
+    peak = max(histogram) or 1
+    width = critical / len(histogram)
+    rows = []
+    for index, count in enumerate(histogram):
+        bar = int(round(count / peak * 220))
+        rows.append(
+            f"<tr><td>{index * width:.1f} &ndash; {(index + 1) * width:.1f}</td>"
+            f'<td style="text-align:left"><span class="bar" '
+            f'style="width:{bar}px"></span> {count}</td></tr>'
+        )
+    return "\n".join(rows)
+
+
+def render_html(
+    solution: RoutingSolution,
+    delay_model: DelayModel,
+    title: str = "Die-level routing report",
+) -> str:
+    """Render a full standalone HTML report."""
+    summary = solution_summary(solution, delay_model)
+    svg = render_svg(solution.system, solution)
+    conflicts = summary["conflicts"]
+    verdict = (
+        '<span class="ok">legal (no SLL overlaps)</span>'
+        if conflicts == 0
+        else f'<span class="bad">{conflicts} SLL conflicts</span>'
+    )
+    delay = summary["critical_delay"]
+    delay_text = f"{delay:.2f}" if delay is not None else "n/a (unassigned ratios)"
+
+    edge_rows = []
+    for record in summary["edges"]:
+        utilization = record["demand"] / record["capacity"] if record["capacity"] else 0
+        flag = (
+            ' class="bad"'
+            if record["kind"] == "sll" and record["demand"] > record["capacity"]
+            else ""
+        )
+        edge_rows.append(
+            f"<tr{flag}><td>{record['kind'].upper()}</td>"
+            f"<td>{record['dies'][0]}&ndash;{record['dies'][1]}</td>"
+            f"<td>{record['demand']}</td><td>{record['capacity']}</td>"
+            f"<td>{utilization:.0%}</td></tr>"
+        )
+
+    ratio_rows = [
+        f"<tr><td>{ratio}</td><td>{count}</td></tr>"
+        for ratio, count in summary["tdm"]["ratio_counts"].items()
+    ]
+
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{title}</title>
+<style>{_STYLE}</style></head><body>
+<h1>{title}</h1>
+<p><b>Critical connection delay:</b> {delay_text} &nbsp;|&nbsp;
+<b>Status:</b> {verdict} &nbsp;|&nbsp;
+<b>Nets:</b> {summary['nets']} &nbsp;|&nbsp;
+<b>Connections:</b> {summary['connections']}
+(routed {summary['routed_connections']})</p>
+
+<h2>Topology &amp; utilization</h2>
+{svg}
+
+<h2>Edges</h2>
+<table><tr><th>kind</th><th>dies</th><th>demand</th><th>capacity</th>
+<th>util</th></tr>
+{''.join(edge_rows)}
+</table>
+
+<h2>TDM wire ratios</h2>
+<p>wires in use: {summary['tdm']['wires_used']}, ratios
+{summary['tdm']['min_ratio']}&ndash;{summary['tdm']['max_ratio']}
+(mean {summary['tdm']['mean_ratio']:.1f})</p>
+<table><tr><th>ratio</th><th>wires</th></tr>
+{''.join(ratio_rows)}
+</table>
+
+<h2>Delay histogram</h2>
+<table><tr><th>delay range</th><th>connections</th></tr>
+{_histogram_rows(summary['delay_histogram'], delay)}
+</table>
+</body></html>
+"""
+
+
+def write_html(
+    path: Union[str, Path],
+    solution: RoutingSolution,
+    delay_model: DelayModel,
+    title: str = "Die-level routing report",
+) -> None:
+    """Write the HTML report to a file."""
+    Path(path).write_text(render_html(solution, delay_model, title))

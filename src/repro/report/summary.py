@@ -1,0 +1,88 @@
+"""Machine-readable solution summaries (for CI dashboards and scripts)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.route.metrics import (
+    edge_utilizations,
+    max_sll_utilization,
+    path_stats,
+    ratio_distribution,
+)
+from repro.route.solution import RoutingSolution
+from repro.timing.analysis import TimingAnalyzer
+from repro.timing.delay import DelayModel
+
+
+def solution_summary(
+    solution: RoutingSolution,
+    delay_model: DelayModel,
+) -> Dict[str, Any]:
+    """Structured summary of a routing solution.
+
+    Returns a JSON-ready dict::
+
+        {
+          "nets": .., "connections": .., "routed_connections": ..,
+          "critical_delay": .., "conflicts": ..,
+          "max_sll_utilization": ..,
+          "paths": {"mean_hops": .., "max_hops": .., "max_tdm_hops": ..},
+          "tdm": {"wires_used": .., "min_ratio": .., "max_ratio": ..,
+                   "mean_ratio": .., "ratio_counts": {"8": 3, ...}},
+          "delay_histogram": [..]
+        }
+    """
+    netlist = solution.netlist
+    stats = path_stats(solution)
+    distribution = ratio_distribution(solution)
+    summary: Dict[str, Any] = {
+        "nets": netlist.num_nets,
+        "connections": netlist.num_connections,
+        "routed_connections": stats.num_paths,
+        "conflicts": solution.conflict_count(),
+        "max_sll_utilization": max_sll_utilization(solution),
+        "paths": {
+            "mean_hops": stats.mean_hops,
+            "max_hops": stats.max_hops,
+            "max_tdm_hops": stats.max_tdm_hops,
+        },
+        "tdm": {
+            "wires_used": distribution.num_wires,
+            "min_ratio": distribution.min_ratio,
+            "max_ratio": distribution.max_ratio,
+            "mean_ratio": distribution.mean_ratio(),
+            "ratio_counts": {
+                str(ratio): count for ratio, count in sorted(distribution.counts.items())
+            },
+        },
+        "edges": [
+            {
+                "kind": record.kind,
+                "dies": list(record.dies),
+                "demand": record.demand,
+                "capacity": record.capacity,
+            }
+            for record in edge_utilizations(solution)
+        ],
+    }
+    if solution.is_complete and (not solution.system.tdm_edges or solution.ratios):
+        analyzer = TimingAnalyzer(solution.system, netlist, delay_model)
+        timing = analyzer.analyze(solution, assume_min_ratio=True)
+        summary["critical_delay"] = timing.critical_delay
+        summary["delay_histogram"] = timing.histogram(bins=10)
+    else:
+        summary["critical_delay"] = None
+        summary["delay_histogram"] = []
+    return summary
+
+
+def write_summary_json(
+    path: Union[str, Path],
+    solution: RoutingSolution,
+    delay_model: DelayModel,
+) -> None:
+    """Write :func:`solution_summary` as a JSON file."""
+    Path(path).write_text(json.dumps(solution_summary(solution, delay_model), indent=1))

@@ -1,0 +1,147 @@
+"""SVG rendering of systems and routed solutions.
+
+Pure string building — no plotting dependency.  FPGAs are drawn as boxes
+with their dies laid out horizontally; SLL edges as straight intra-box
+lines and TDM edges as arcs between boxes.  With a solution, edge colors
+encode utilization (green -> red) and TDM edges are labelled with demand
+and occupied wires.  The output opens in any browser.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+from pathlib import Path
+
+from repro.arch.system import MultiFpgaSystem
+from repro.route.solution import RoutingSolution
+
+_DIE_SIZE = 46
+_DIE_GAP = 18
+_FPGA_PAD = 24
+_FPGA_GAP = 70
+_TOP = 70
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _heat_color(fraction: float) -> str:
+    """Green at 0, amber around 0.75, red at >= 1."""
+    f = min(max(fraction, 0.0), 1.0)
+    red = int(60 + 195 * f)
+    green = int(200 - 140 * f)
+    return f"#{red:02x}{green:02x}50"
+
+
+def _die_positions(system: MultiFpgaSystem) -> Dict[int, Tuple[float, float]]:
+    positions: Dict[int, Tuple[float, float]] = {}
+    x = _FPGA_GAP
+    for fpga in system.fpgas:
+        inner = x + _FPGA_PAD
+        for die in fpga.die_indices:
+            positions[die] = (inner + _DIE_SIZE / 2, _TOP + _DIE_SIZE / 2)
+            inner += _DIE_SIZE + _DIE_GAP
+        width = (
+            _FPGA_PAD * 2
+            + fpga.num_dies * _DIE_SIZE
+            + (fpga.num_dies - 1) * _DIE_GAP
+        )
+        x += width + _FPGA_GAP
+    return positions
+
+
+def render_svg(
+    system: MultiFpgaSystem,
+    solution: Optional[RoutingSolution] = None,
+) -> str:
+    """Render the system (and optional utilization) as an SVG document."""
+    positions = _die_positions(system)
+    max_x = max(x for x, _ in positions.values()) + _DIE_SIZE + _FPGA_GAP
+    height = _TOP + _DIE_SIZE + 180
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{max_x:.0f}" '
+        f'height="{height}" font-family="monospace" font-size="12">',
+        f'<rect width="{max_x:.0f}" height="{height}" fill="#fafafa"/>',
+    ]
+
+    # FPGA boxes.
+    x = _FPGA_GAP
+    for fpga in system.fpgas:
+        width = (
+            _FPGA_PAD * 2
+            + fpga.num_dies * _DIE_SIZE
+            + (fpga.num_dies - 1) * _DIE_GAP
+        )
+        parts.append(
+            f'<rect x="{x}" y="{_TOP - _FPGA_PAD}" width="{width}" '
+            f'height="{_DIE_SIZE + 2 * _FPGA_PAD}" fill="none" '
+            f'stroke="#888" rx="8"/>'
+        )
+        parts.append(
+            f'<text x="{x + 6}" y="{_TOP - _FPGA_PAD - 6}" fill="#555">'
+            f"{_escape(fpga.name)}</text>"
+        )
+        x += width + _FPGA_GAP
+
+    # Edges under the dies.
+    for edge in system.sll_edges:
+        (x1, y1), (x2, y2) = positions[edge.die_a], positions[edge.die_b]
+        color, label = "#777", f"{edge.capacity}"
+        if solution is not None:
+            demand = solution.edge_demand(edge.index)
+            color = _heat_color(demand / edge.capacity)
+            label = f"{demand}/{edge.capacity}"
+        parts.append(
+            f'<line x1="{x1:.0f}" y1="{y1:.0f}" x2="{x2:.0f}" y2="{y2:.0f}" '
+            f'stroke="{color}" stroke-width="4"/>'
+        )
+        parts.append(
+            f'<text x="{(x1 + x2) / 2:.0f}" y="{y1 - _DIE_SIZE / 2 - 4:.0f}" '
+            f'text-anchor="middle" fill="#555">{label}</text>'
+        )
+    for index, edge in enumerate(system.tdm_edges):
+        (x1, y1), (x2, y2) = positions[edge.die_a], positions[edge.die_b]
+        drop = 60 + 26 * index
+        mid_x = (x1 + x2) / 2
+        color, label = "#3366cc", f"{edge.capacity} wires"
+        if solution is not None:
+            demand = solution.edge_demand(edge.index)
+            wires_used = len(solution.wires.get(edge.index, []))
+            color = _heat_color(wires_used / edge.capacity if edge.capacity else 0)
+            label = f"demand {demand}, wires {wires_used}/{edge.capacity}"
+        parts.append(
+            f'<path d="M {x1:.0f} {y1 + _DIE_SIZE / 2:.0f} '
+            f"Q {mid_x:.0f} {y1 + _DIE_SIZE / 2 + drop:.0f} "
+            f'{x2:.0f} {y2 + _DIE_SIZE / 2:.0f}" fill="none" '
+            f'stroke="{color}" stroke-width="2.5" stroke-dasharray="6 3"/>'
+        )
+        parts.append(
+            f'<text x="{mid_x:.0f}" y="{y1 + _DIE_SIZE / 2 + drop / 2 + 12:.0f}" '
+            f'text-anchor="middle" fill="#336">{label}</text>'
+        )
+
+    # Dies on top.
+    for die_index, (cx, cy) in positions.items():
+        parts.append(
+            f'<rect x="{cx - _DIE_SIZE / 2:.0f}" y="{cy - _DIE_SIZE / 2:.0f}" '
+            f'width="{_DIE_SIZE}" height="{_DIE_SIZE}" fill="#fff" '
+            f'stroke="#333" rx="5"/>'
+        )
+        parts.append(
+            f'<text x="{cx:.0f}" y="{cy + 4:.0f}" text-anchor="middle">'
+            f"{die_index}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def write_svg(
+    path: Union[str, Path],
+    system: MultiFpgaSystem,
+    solution: Optional[RoutingSolution] = None,
+) -> None:
+    """Write the SVG rendering to a file."""
+    Path(path).write_text(render_svg(system, solution))

@@ -1,0 +1,127 @@
+"""Plain-text report rendering.
+
+Every function returns a string (joined lines, trailing newline) so the
+CLI, examples and tests can use them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arch.system import MultiFpgaSystem
+from repro.netlist.netlist import Netlist
+from repro.route.metrics import (
+    edge_utilizations,
+    path_stats,
+    ratio_distribution,
+)
+from repro.route.solution import RoutingSolution
+from repro.timing.analysis import TimingAnalyzer, TimingReport
+from repro.timing.delay import DelayModel
+
+_BAR_WIDTH = 30
+
+
+def _bar(fraction: float, width: int = _BAR_WIDTH) -> str:
+    """A ``[#####-----]`` occupancy bar, clamped to [0, 1]."""
+    filled = int(round(min(max(fraction, 0.0), 1.0) * width))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def system_report(system: MultiFpgaSystem) -> str:
+    """Describe a multi-FPGA system: devices, dies and edges."""
+    lines: List[str] = [f"Multi-FPGA system: {system.num_fpgas} FPGAs, "
+                        f"{system.num_dies} dies"]
+    for fpga in system.fpgas:
+        dies = ", ".join(str(d) for d in fpga.die_indices)
+        lines.append(f"  {fpga.name}: dies [{dies}]")
+    lines.append(
+        f"  SLL edges: {len(system.sll_edges)} "
+        f"({system.total_sll_wires()} wires total)"
+    )
+    for edge in system.sll_edges:
+        lines.append(
+            f"    edge {edge.index}: die {edge.die_a} -- die {edge.die_b} "
+            f"({edge.capacity} wires)"
+        )
+    lines.append(
+        f"  TDM edges: {len(system.tdm_edges)} "
+        f"({system.total_tdm_wires()} wires total)"
+    )
+    for edge in system.tdm_edges:
+        lines.append(
+            f"    edge {edge.index}: die {edge.die_a} <> die {edge.die_b} "
+            f"({edge.capacity} wires)"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def utilization_report(solution: RoutingSolution) -> str:
+    """Per-edge demand/capacity with occupancy bars."""
+    lines: List[str] = ["Edge utilization (demand / capacity):"]
+    for record in edge_utilizations(solution):
+        bar = _bar(record.utilization if record.kind == "sll" else
+                   min(record.utilization, 1.0))
+        marker = " OVERFLOW" if record.kind == "sll" and record.demand > record.capacity else ""
+        lines.append(
+            f"  {record.kind.upper():3s} {record.dies[0]:3d}-{record.dies[1]:<3d} "
+            f"{bar} {record.demand:6d} / {record.capacity:<6d}{marker}"
+        )
+    stats = path_stats(solution)
+    lines.append(
+        f"paths: {stats.num_paths}  mean hops {stats.mean_hops:.2f}  "
+        f"max hops {stats.max_hops}  max TDM hops {stats.max_tdm_hops}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def timing_report_text(
+    report: TimingReport,
+    netlist: Netlist,
+    bins: int = 8,
+) -> str:
+    """Render a timing report: critical path, histogram."""
+    lines: List[str] = [f"critical connection delay: {report.critical_delay:.2f}"]
+    if report.critical_connection >= 0:
+        conn = netlist.connections[report.critical_connection]
+        net = netlist.net(conn.net_index)
+        lines.append(
+            f"critical connection: net {net.name!r} "
+            f"(die {conn.source_die} -> die {conn.sink_die})"
+        )
+    histogram = report.histogram(bins=bins)
+    peak = max(histogram) if histogram else 0
+    if peak:
+        width = report.critical_delay / bins
+        lines.append("delay histogram:")
+        for index, count in enumerate(histogram):
+            bar = _bar(count / peak, width=24)
+            lines.append(
+                f"  {index * width:7.1f}-{(index + 1) * width:<7.1f} {bar} {count}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def solution_report(
+    solution: RoutingSolution,
+    delay_model: DelayModel,
+) -> str:
+    """Full report: utilization, TDM ratios and timing."""
+    system = solution.system
+    netlist = solution.netlist
+    lines: List[str] = [utilization_report(solution)]
+    distribution = ratio_distribution(solution)
+    if distribution.num_wires:
+        lines.append(
+            f"TDM wires in use: {distribution.num_wires}  ratios "
+            f"{distribution.min_ratio}..{distribution.max_ratio} "
+            f"(mean {distribution.mean_ratio():.1f})"
+        )
+        for ratio in sorted(distribution.counts):
+            lines.append(f"  ratio {ratio:6d}: {distribution.counts[ratio]} wires")
+    if solution.is_complete and (not system.tdm_edges or solution.ratios):
+        analyzer = TimingAnalyzer(system, netlist, delay_model)
+        timing = analyzer.analyze(solution, assume_min_ratio=True)
+        lines.append("")
+        lines.append(timing_report_text(timing, netlist).rstrip())
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,97 @@
+"""ASCII topology diagrams of multi-FPGA systems.
+
+Draws each FPGA as a box of dies and lists the SLL/TDM edges with live
+utilization when a solution is supplied — a quick visual sanity check for
+CLI users and bug reports.
+
+Example output::
+
+    +- fpga0 ----------------+   +- fpga1 ----------------+
+    | [0] [1] [2] [3]        |   | [4] [5] [6] [7]        |
+    +------------------------+   +------------------------+
+    SLL 0-1   ####------  412/1000
+    ...
+    TDM 3<->4 ==========  demand 953 over 16 wires
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.arch.system import MultiFpgaSystem
+from repro.route.solution import RoutingSolution
+
+_BAR = 10
+
+
+def _usage_bar(fraction: float) -> str:
+    filled = int(round(min(max(fraction, 0.0), 1.0) * _BAR))
+    return "#" * filled + "-" * (_BAR - filled)
+
+
+def topology_diagram(
+    system: MultiFpgaSystem,
+    solution: Optional[RoutingSolution] = None,
+) -> str:
+    """Render the system (and optional live utilization) as ASCII art."""
+    boxes: List[List[str]] = []
+    for fpga in system.fpgas:
+        dies = " ".join(f"[{d}]" for d in fpga.die_indices)
+        title = f"+- {fpga.name} "
+        inner = f"| {dies} |"
+        width = max(len(inner), len(title) + 4)
+        title = title + "-" * (width - len(title) - 1) + "+"
+        inner = f"| {dies}" + " " * (width - len(dies) - 4) + " |"
+        bottom = "+" + "-" * (width - 2) + "+"
+        boxes.append([title, inner, bottom])
+
+    lines: List[str] = []
+    for row in range(3):
+        lines.append("   ".join(box[row] for box in boxes))
+    lines.append("")
+
+    for edge in system.sll_edges:
+        suffix = f"{edge.capacity} wires"
+        bar = ""
+        if solution is not None:
+            demand = solution.edge_demand(edge.index)
+            bar = _usage_bar(demand / edge.capacity) + " "
+            suffix = f"{demand}/{edge.capacity}"
+            if demand > edge.capacity:
+                suffix += "  OVERFLOW"
+        lines.append(f"SLL {edge.die_a:>3d} -{edge.die_b:<3d} {bar}{suffix}")
+    for edge in system.tdm_edges:
+        suffix = f"{edge.capacity} wires"
+        bar = ""
+        if solution is not None:
+            demand = solution.edge_demand(edge.index)
+            wires_used = len(solution.wires.get(edge.index, []))
+            bar = _usage_bar(wires_used / edge.capacity if edge.capacity else 0) + " "
+            suffix = (
+                f"demand {demand} over {wires_used}/{edge.capacity} wires"
+            )
+        lines.append(f"TDM {edge.die_a:>3d}<>{edge.die_b:<3d} {bar}{suffix}")
+    return "\n".join(lines) + "\n"
+
+
+def path_diagram(solution: RoutingSolution, connection_index: int) -> str:
+    """Render one connection's routed path with per-hop annotations."""
+    netlist = solution.netlist
+    system = solution.system
+    conn = netlist.connections[connection_index]
+    net = netlist.net(conn.net_index)
+    path = solution.path(connection_index)
+    if path is None:
+        return f"net {net.name!r} -> die {conn.sink_die}: UNROUTED\n"
+    parts: List[str] = [f"die {path[0]}"]
+    for (edge_index, direction), to_die in zip(
+        solution.path_hops(connection_index), path[1:]
+    ):
+        edge = system.edge(edge_index)
+        if edge.kind.value == "sll":
+            parts.append(f"--SLL--> die {to_die}")
+        else:
+            ratio = solution.ratios.get((conn.net_index, edge_index, direction))
+            label = f"r={ratio:g}" if ratio is not None else "r=?"
+            parts.append(f"==TDM({label})==> die {to_die}")
+    return f"net {net.name!r}: " + " ".join(parts) + "\n"

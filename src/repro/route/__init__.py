@@ -1,0 +1,23 @@
+"""Routing substrate: graph view, routed paths, and search engines.
+
+The die-level routing graph is small (tens of dies) but carries very large
+capacities and net counts; the heavy lifting is in per-connection path
+search and in the bookkeeping of per-net edge usage, both provided here.
+"""
+
+from repro.route.graph import RoutingGraph
+from repro.route.solution import NetEdgeUse, RoutingSolution
+from repro.route.dijkstra import dijkstra_path, shortest_path_dies
+from repro.route.steiner import steiner_tree_paths
+from repro.route.tree import edges_form_tree, path_to_edge_list
+
+__all__ = [
+    "NetEdgeUse",
+    "RoutingGraph",
+    "RoutingSolution",
+    "dijkstra_path",
+    "edges_form_tree",
+    "path_to_edge_list",
+    "shortest_path_dies",
+    "steiner_tree_paths",
+]

@@ -1,0 +1,116 @@
+"""Diffing two routing solutions of the same case.
+
+Pairs with the ECO flow: after an incremental update, the diff shows
+exactly which connections moved, which ratios changed and how the
+critical delay shifted — the review artifact an emulation team checks in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.route.solution import NetEdgeUse, RoutingSolution
+from repro.timing.analysis import TimingAnalyzer
+from repro.timing.delay import DelayModel
+
+
+@dataclass
+class SolutionDiff:
+    """Differences between two solutions of the same (system, netlist).
+
+    Attributes:
+        moved_connections: connection indices whose path changed.
+        ratio_changes: (net, edge, direction) -> (old, new) ratio, for
+            uses present in both solutions with different ratios.
+        uses_only_in_old / uses_only_in_new: TDM uses unique to one side.
+        critical_delay_old / critical_delay_new: Eq. 1 values (None when a
+            side has unassigned ratios).
+    """
+
+    moved_connections: List[int] = field(default_factory=list)
+    ratio_changes: Dict[NetEdgeUse, Tuple[float, float]] = field(default_factory=dict)
+    uses_only_in_old: List[NetEdgeUse] = field(default_factory=list)
+    uses_only_in_new: List[NetEdgeUse] = field(default_factory=list)
+    critical_delay_old: Optional[float] = None
+    critical_delay_new: Optional[float] = None
+
+    @property
+    def is_identical(self) -> bool:
+        """No path or ratio differences at all."""
+        return not (
+            self.moved_connections
+            or self.ratio_changes
+            or self.uses_only_in_old
+            or self.uses_only_in_new
+        )
+
+    @property
+    def delay_delta(self) -> Optional[float]:
+        """new - old critical delay (None when either side is unscored)."""
+        if self.critical_delay_old is None or self.critical_delay_new is None:
+            return None
+        return self.critical_delay_new - self.critical_delay_old
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        if self.is_identical:
+            return "solutions identical"
+        parts = [
+            f"{len(self.moved_connections)} connections moved",
+            f"{len(self.ratio_changes)} ratios changed",
+        ]
+        delta = self.delay_delta
+        if delta is not None:
+            parts.append(f"critical delay {self.critical_delay_old:.2f} -> "
+                         f"{self.critical_delay_new:.2f} ({delta:+.2f})")
+        return ", ".join(parts)
+
+
+def diff_solutions(
+    old: RoutingSolution,
+    new: RoutingSolution,
+    delay_model: Optional[DelayModel] = None,
+) -> SolutionDiff:
+    """Compute the diff between two solutions of the same case.
+
+    Raises:
+        ValueError: when the solutions belong to different netlists or
+            systems (they would not be comparable connection by
+            connection).
+    """
+    if old.netlist is not new.netlist or old.system is not new.system:
+        if (
+            old.netlist.num_connections != new.netlist.num_connections
+            or old.system.num_edges != new.system.num_edges
+        ):
+            raise ValueError("solutions belong to different cases")
+    diff = SolutionDiff()
+    for index in range(old.netlist.num_connections):
+        if old.path(index) != new.path(index):
+            diff.moved_connections.append(index)
+
+    old_uses = dict(old.ratios)
+    new_uses = dict(new.ratios)
+    for use, old_ratio in old_uses.items():
+        if use not in new_uses:
+            diff.uses_only_in_old.append(use)
+        elif abs(new_uses[use] - old_ratio) > 1e-9:
+            diff.ratio_changes[use] = (old_ratio, new_uses[use])
+    diff.uses_only_in_new = [use for use in new_uses if use not in old_uses]
+    diff.uses_only_in_old.sort()
+    diff.uses_only_in_new.sort()
+
+    model = delay_model if delay_model is not None else DelayModel()
+    for side, solution, attr in (
+        ("old", old, "critical_delay_old"),
+        ("new", new, "critical_delay_new"),
+    ):
+        if not solution.is_complete:
+            continue
+        try:
+            analyzer = TimingAnalyzer(solution.system, solution.netlist, model)
+            setattr(diff, attr, analyzer.critical_delay(solution))
+        except KeyError:
+            pass  # unassigned ratios: leave as None
+    return diff

@@ -1,0 +1,114 @@
+"""Shortest-path search on the die graph.
+
+The die graph is tiny (at most a few dozen vertices), but the router calls
+these functions once per connection — potentially millions of times — so
+they are written for low constant overhead: plain lists, a binary heap, and
+a caller-supplied edge cost callable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Sequence, Tuple
+
+#: Edge cost callable: ``cost(edge_index, from_die, to_die) -> float``.
+EdgeCostFn = Callable[[int, int, int], float]
+
+
+def dijkstra_path(
+    adjacency: Sequence[Sequence[Tuple[int, int]]],
+    source: int,
+    target: int,
+    edge_cost: EdgeCostFn,
+) -> Optional[List[int]]:
+    """Find a min-cost simple path from ``source`` to ``target``.
+
+    Args:
+        adjacency: per-die list of ``(edge_index, other_die)`` pairs.
+        source: start die.
+        target: end die.
+        edge_cost: cost of traversing an edge in a given orientation; must
+            be non-negative.
+
+    Returns:
+        The die path including both endpoints, or ``None`` if unreachable.
+    """
+    if source == target:
+        return [source]
+    n = len(adjacency)
+    dist = [float("inf")] * n
+    prev: List[int] = [-1] * n
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, die = heapq.heappop(heap)
+        if d > dist[die]:
+            continue
+        if die == target:
+            break
+        for edge_index, other in adjacency[die]:
+            nd = d + edge_cost(edge_index, die, other)
+            if nd < dist[other]:
+                dist[other] = nd
+                prev[other] = die
+                heapq.heappush(heap, (nd, other))
+    if dist[target] == float("inf"):
+        return None
+    path = [target]
+    while path[-1] != source:
+        path.append(prev[path[-1]])
+    path.reverse()
+    return path
+
+
+def dijkstra_all(
+    adjacency: Sequence[Sequence[Tuple[int, int]]],
+    source: int,
+    edge_cost: EdgeCostFn,
+) -> Tuple[List[float], List[int]]:
+    """Single-source shortest distances and predecessor dies.
+
+    Returns:
+        ``(dist, prev)`` where ``dist[v]`` is the cost to reach die ``v``
+        (``inf`` when unreachable) and ``prev[v]`` the predecessor die on a
+        shortest path (``-1`` for the source/unreachable dies).
+    """
+    n = len(adjacency)
+    dist = [float("inf")] * n
+    prev = [-1] * n
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, die = heapq.heappop(heap)
+        if d > dist[die]:
+            continue
+        for edge_index, other in adjacency[die]:
+            nd = d + edge_cost(edge_index, die, other)
+            if nd < dist[other]:
+                dist[other] = nd
+                prev[other] = die
+                heapq.heappush(heap, (nd, other))
+    return dist, prev
+
+
+def extract_path(prev: Sequence[int], source: int, target: int) -> List[int]:
+    """Reconstruct the die path from a predecessor array."""
+    path = [target]
+    while path[-1] != source:
+        predecessor = prev[path[-1]]
+        if predecessor < 0:
+            raise ValueError(f"die {target} is unreachable from {source}")
+        path.append(predecessor)
+    path.reverse()
+    return path
+
+
+def shortest_path_dies(
+    adjacency: Sequence[Sequence[Tuple[int, int]]],
+    source: int,
+    target: int,
+    edge_cost: Optional[EdgeCostFn] = None,
+) -> Optional[List[int]]:
+    """Shortest path by hop count (or a custom cost) between two dies."""
+    cost = edge_cost if edge_cost is not None else (lambda e, a, b: 1.0)
+    return dijkstra_path(adjacency, source, target, cost)

@@ -1,0 +1,70 @@
+"""Array-backed view of the die-level routing graph.
+
+:class:`RoutingGraph` flattens a :class:`~repro.arch.MultiFpgaSystem` into
+plain lists/arrays that the inner routing loops index directly, avoiding
+attribute lookups on edge objects in the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.arch.edges import EdgeKind
+from repro.arch.system import MultiFpgaSystem
+
+
+class RoutingGraph:
+    """Flat, immutable arrays describing the die graph.
+
+    Attributes:
+        num_dies: number of vertices.
+        num_edges: number of edges (SLL + TDM).
+        die_a / die_b: per-edge endpoint arrays with ``die_a < die_b``.
+        is_tdm: per-edge boolean array (True for TDM edges).
+        capacity: per-edge capacity array.
+        adjacency: per-die list of ``(edge_index, other_die)`` pairs.
+    """
+
+    def __init__(self, system: MultiFpgaSystem) -> None:
+        self.system = system
+        self.num_dies = system.num_dies
+        self.num_edges = system.num_edges
+        self.die_a = np.fromiter(
+            (e.die_a for e in system.edges), dtype=np.int64, count=self.num_edges
+        )
+        self.die_b = np.fromiter(
+            (e.die_b for e in system.edges), dtype=np.int64, count=self.num_edges
+        )
+        self.is_tdm = np.fromiter(
+            (e.kind is EdgeKind.TDM for e in system.edges),
+            dtype=bool,
+            count=self.num_edges,
+        )
+        self.capacity = np.fromiter(
+            (e.capacity for e in system.edges), dtype=np.int64, count=self.num_edges
+        )
+        self.adjacency: List[List[Tuple[int, int]]] = [
+            list(system.neighbors(die)) for die in range(self.num_dies)
+        ]
+        self.tdm_edge_indices = np.flatnonzero(self.is_tdm)
+        self.sll_edge_indices = np.flatnonzero(~self.is_tdm)
+
+    def other_endpoint(self, edge_index: int, die: int) -> int:
+        """Return the endpoint of ``edge_index`` opposite to ``die``."""
+        a = int(self.die_a[edge_index])
+        b = int(self.die_b[edge_index])
+        if die == a:
+            return b
+        if die == b:
+            return a
+        raise ValueError(f"die {die} is not an endpoint of edge {edge_index}")
+
+    def direction(self, edge_index: int, from_die: int) -> int:
+        """Direction bit of traversing ``edge_index`` starting at ``from_die``."""
+        if from_die == int(self.die_a[edge_index]):
+            return 0
+        if from_die == int(self.die_b[edge_index]):
+            return 1
+        raise ValueError(f"die {from_die} is not an endpoint of edge {edge_index}")

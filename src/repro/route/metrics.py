@@ -1,0 +1,177 @@
+"""Quantitative metrics over routing solutions.
+
+Shared by the text reports (:mod:`repro.report`), the benchmarks and the
+examples: per-edge utilization, TDM ratio distributions, path-length
+statistics and wire occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.edges import EdgeKind
+from repro.route.solution import RoutingSolution
+
+
+@dataclass(frozen=True)
+class EdgeUtilization:
+    """Usage of one edge.
+
+    Attributes:
+        edge_index: global edge index.
+        kind: ``"sll"`` or ``"tdm"``.
+        dies: endpoint die pair.
+        demand: number of distinct nets routed over the edge.
+        capacity: physical wires of the edge.
+    """
+
+    edge_index: int
+    kind: str
+    dies: Tuple[int, int]
+    demand: int
+    capacity: int
+
+    @property
+    def utilization(self) -> float:
+        """demand / capacity (meaningful as an occupancy bound for SLL;
+        for TDM edges values above 1 simply mean multiplexing)."""
+        return self.demand / self.capacity if self.capacity else 0.0
+
+
+@dataclass
+class RatioDistribution:
+    """Distribution of final TDM ratios across wires.
+
+    Attributes:
+        counts: ratio -> number of wires carrying at least one net.
+    """
+
+    counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_wires(self) -> int:
+        """Number of occupied wires."""
+        return sum(self.counts.values())
+
+    @property
+    def max_ratio(self) -> int:
+        """Largest wire ratio (0 when no wires)."""
+        return max(self.counts, default=0)
+
+    @property
+    def min_ratio(self) -> int:
+        """Smallest wire ratio (0 when no wires)."""
+        return min(self.counts, default=0)
+
+    def mean_ratio(self) -> float:
+        """Wire-count-weighted mean ratio."""
+        if not self.counts:
+            return 0.0
+        total = sum(ratio * count for ratio, count in self.counts.items())
+        return total / self.num_wires
+
+
+@dataclass(frozen=True)
+class PathStats:
+    """Hop statistics over all routed connections.
+
+    Attributes:
+        num_paths: routed connections.
+        total_hops: summed path lengths in edges.
+        max_hops: longest path.
+        max_tdm_hops: most TDM edges on one path.
+        mean_hops: average path length (0 when empty).
+    """
+
+    num_paths: int
+    total_hops: int
+    max_hops: int
+    max_tdm_hops: int
+
+    @property
+    def mean_hops(self) -> float:
+        return self.total_hops / self.num_paths if self.num_paths else 0.0
+
+
+def edge_utilizations(
+    solution: RoutingSolution, kind: Optional[EdgeKind] = None
+) -> List[EdgeUtilization]:
+    """Per-edge utilization records, optionally filtered by edge kind."""
+    records = []
+    for edge in solution.system.edges:
+        if kind is not None and edge.kind is not kind:
+            continue
+        records.append(
+            EdgeUtilization(
+                edge_index=edge.index,
+                kind=edge.kind.value,
+                dies=edge.dies,
+                demand=solution.edge_demand(edge.index),
+                capacity=edge.capacity,
+            )
+        )
+    return records
+
+
+def max_sll_utilization(solution: RoutingSolution) -> float:
+    """Worst SLL demand/capacity ratio (> 1 means overflow)."""
+    utils = [
+        record.utilization
+        for record in edge_utilizations(solution, EdgeKind.SLL)
+    ]
+    return max(utils, default=0.0)
+
+
+def ratio_distribution(solution: RoutingSolution) -> RatioDistribution:
+    """Distribution of occupied TDM wire ratios across the whole system."""
+    distribution = RatioDistribution()
+    for wires in solution.wires.values():
+        for wire in wires:
+            if wire.demand:
+                key = int(wire.ratio)
+                distribution.counts[key] = distribution.counts.get(key, 0) + 1
+    return distribution
+
+
+def path_stats(solution: RoutingSolution) -> PathStats:
+    """Hop statistics over every routed connection."""
+    num_paths = 0
+    total = 0
+    worst = 0
+    worst_tdm = 0
+    for conn in solution.netlist.connections:
+        path = solution.path(conn.index)
+        if path is None:
+            continue
+        hops = solution.path_hops(conn.index)
+        num_paths += 1
+        total += len(hops)
+        worst = max(worst, len(hops))
+        tdm_hops = sum(
+            1
+            for edge_index, _ in hops
+            if solution.system.edge(edge_index).kind is EdgeKind.TDM
+        )
+        worst_tdm = max(worst_tdm, tdm_hops)
+    return PathStats(
+        num_paths=num_paths,
+        total_hops=total,
+        max_hops=worst,
+        max_tdm_hops=worst_tdm,
+    )
+
+
+def total_edge_usage(solution: RoutingSolution) -> int:
+    """Total distinct (net, edge) uses — the usage objective of [18]."""
+    return sum(
+        solution.edge_demand(edge.index) for edge in solution.system.edges
+    )
+
+
+def wire_occupancy(solution: RoutingSolution, edge_index: int) -> Dict[int, List[int]]:
+    """Per-wire net lists of one TDM edge: wire position -> net indices."""
+    return {
+        position: list(wire.net_indices)
+        for position, wire in enumerate(solution.wires.get(edge_index, []))
+    }

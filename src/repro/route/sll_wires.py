@@ -1,0 +1,80 @@
+"""Explicit SLL physical wire assignment.
+
+The routing problem only constrains SLL edges by *count* (each physical
+wire carries at most one net), so the router works with capacities; the
+final handoff to board bring-up needs concrete wire indices per net.
+Assignment is an arbitrary injection — this module provides a
+deterministic one (nets sorted by index take wires 0, 1, 2, ...) plus the
+validator the DRC-style checks use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.route.solution import RoutingSolution
+
+#: edge index -> {net index -> physical wire id}.
+SllWireMap = Dict[int, Dict[int, int]]
+
+
+class SllCapacityError(ValueError):
+    """Raised when an edge carries more nets than it has wires."""
+
+
+def assign_sll_wires(solution: RoutingSolution) -> SllWireMap:
+    """Assign every net on every SLL edge a distinct physical wire.
+
+    Returns:
+        Per-edge net-to-wire mapping (deterministic: ascending net index
+        gets ascending wire id).
+
+    Raises:
+        SllCapacityError: when any SLL edge is overfull — the topology
+            must be legal before wires can be pinned.
+    """
+    mapping: SllWireMap = {}
+    for edge in solution.system.sll_edges:
+        nets = sorted(solution.edge_nets(edge.index))
+        if len(nets) > edge.capacity:
+            raise SllCapacityError(
+                f"SLL edge {edge.index}: {len(nets)} nets exceed "
+                f"{edge.capacity} wires"
+            )
+        if nets:
+            mapping[edge.index] = {net: wire for wire, net in enumerate(nets)}
+    return mapping
+
+
+def validate_sll_wires(solution: RoutingSolution, mapping: SllWireMap) -> List[str]:
+    """Check a wire map against a solution.
+
+    Returns:
+        Human-readable problem descriptions (empty = valid): nets missing
+        a wire, duplicate wires, wire ids out of range, or assignments for
+        nets that do not use the edge.
+    """
+    problems: List[str] = []
+    for edge in solution.system.sll_edges:
+        nets = solution.edge_nets(edge.index)
+        assigned = mapping.get(edge.index, {})
+        for net in nets:
+            if net not in assigned:
+                problems.append(f"edge {edge.index}: net {net} has no wire")
+        seen: Dict[int, int] = {}
+        for net, wire in assigned.items():
+            if net not in nets:
+                problems.append(
+                    f"edge {edge.index}: net {net} assigned but not routed here"
+                )
+            if not 0 <= wire < edge.capacity:
+                problems.append(
+                    f"edge {edge.index}: wire {wire} out of range for net {net}"
+                )
+            if wire in seen:
+                problems.append(
+                    f"edge {edge.index}: wire {wire} shared by nets "
+                    f"{seen[wire]} and {net}"
+                )
+            seen[wire] = net
+    return problems

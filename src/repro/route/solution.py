@@ -1,0 +1,223 @@
+"""The routing solution container.
+
+A :class:`RoutingSolution` holds, for a fixed system and netlist:
+
+* a loop-free die path per connection (*the routing topology*),
+* a TDM ratio per (net, TDM edge, direction) use (*the ratio assignment*),
+* the physical TDM wires per TDM edge and the net-to-wire mapping
+  (*the wire assignment*).
+
+Routers populate it in that order; the timing analyzer and the DRC only
+ever read it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.arch.edges import EdgeKind, TdmWire
+from repro.arch.system import MultiFpgaSystem
+from repro.netlist.netlist import Netlist
+from repro.route.tree import path_to_edge_list
+
+#: A (net_index, edge_index, direction) triple identifying one use of a
+#: directed TDM edge by a net.
+NetEdgeUse = Tuple[int, int, int]
+
+
+@dataclass
+class SllOverflow:
+    """An SLL edge whose net demand exceeds its capacity."""
+
+    edge_index: int
+    demand: int
+    capacity: int
+
+    @property
+    def excess(self) -> int:
+        """Number of nets beyond the capacity."""
+        return self.demand - self.capacity
+
+
+class RoutingSolution:
+    """Mutable routing state for one (system, netlist) pair."""
+
+    def __init__(self, system: MultiFpgaSystem, netlist: Netlist) -> None:
+        netlist.validate_against(system.num_dies)
+        self.system = system
+        self.netlist = netlist
+        self._paths: List[Optional[Tuple[int, ...]]] = [None] * netlist.num_connections
+        #: TDM ratio per (net, edge, direction); populated by phase II.
+        self.ratios: Dict[NetEdgeUse, float] = {}
+        #: Physical wires per TDM edge index; populated by wire assignment.
+        self.wires: Dict[int, List[TdmWire]] = {}
+        #: Wire position (within ``wires[edge]``) per net edge use.
+        self.net_wire: Dict[NetEdgeUse, int] = {}
+        self._cache_valid = False
+        self._edge_nets: List[Set[int]] = []
+        self._net_uses: Dict[int, List[NetEdgeUse]] = {}
+        self._directed_nets: Dict[Tuple[int, int], List[int]] = {}
+        self._conn_hops: List[Optional[List[Tuple[int, int]]]] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def set_path(self, connection_index: int, dies: Sequence[int]) -> None:
+        """Set the routed die path of a connection.
+
+        Args:
+            connection_index: index into the netlist's connection list.
+            dies: consecutive die indices from the connection's source die
+                to its sink die.
+
+        Raises:
+            ValueError: if the endpoints do not match the connection, the
+                path revisits a die, or consecutive dies are not adjacent.
+        """
+        conn = self.netlist.connections[connection_index]
+        if not dies or dies[0] != conn.source_die or dies[-1] != conn.sink_die:
+            raise ValueError(
+                f"path {list(dies)} does not run from die {conn.source_die} "
+                f"to die {conn.sink_die}"
+            )
+        # Validates adjacency and loop-freedom.
+        path_to_edge_list(self.system, dies)
+        self._paths[connection_index] = tuple(dies)
+        self._cache_valid = False
+
+    def clear_path(self, connection_index: int) -> None:
+        """Remove the routed path of a connection."""
+        self._paths[connection_index] = None
+        self._cache_valid = False
+
+    def path(self, connection_index: int) -> Optional[Tuple[int, ...]]:
+        """The routed die path of a connection (``None`` when unrouted)."""
+        return self._paths[connection_index]
+
+    def path_hops(self, connection_index: int) -> List[Tuple[int, int]]:
+        """``(edge_index, direction)`` hops of a connection's path."""
+        self._ensure_cache()
+        hops = self._conn_hops[connection_index]
+        if hops is None:
+            raise ValueError(f"connection {connection_index} is unrouted")
+        return hops
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every connection has a routed path."""
+        return all(path is not None for path in self._paths)
+
+    def unrouted_connections(self) -> List[int]:
+        """Indices of connections without a routed path."""
+        return [i for i, path in enumerate(self._paths) if path is None]
+
+    # ------------------------------------------------------------------
+    # Derived usage maps
+    # ------------------------------------------------------------------
+    def _ensure_cache(self) -> None:
+        if self._cache_valid:
+            return
+        self._edge_nets = [set() for _ in range(self.system.num_edges)]
+        self._net_uses = {}
+        self._directed_nets = {}
+        self._conn_hops = [None] * self.netlist.num_connections
+        seen_uses: Set[NetEdgeUse] = set()
+        for conn in self.netlist.connections:
+            path = self._paths[conn.index]
+            if path is None:
+                continue
+            hops = path_to_edge_list(self.system, path)
+            self._conn_hops[conn.index] = hops
+            for edge_index, direction in hops:
+                self._edge_nets[edge_index].add(conn.net_index)
+                edge = self.system.edge(edge_index)
+                if edge.kind is EdgeKind.TDM:
+                    use = (conn.net_index, edge_index, direction)
+                    if use not in seen_uses:
+                        seen_uses.add(use)
+                        self._net_uses.setdefault(conn.net_index, []).append(use)
+                        self._directed_nets.setdefault(
+                            (edge_index, direction), []
+                        ).append(conn.net_index)
+        self._cache_valid = True
+
+    def edge_nets(self, edge_index: int) -> Set[int]:
+        """Set of net indices routed over an edge."""
+        self._ensure_cache()
+        return self._edge_nets[edge_index]
+
+    def edge_demand(self, edge_index: int) -> int:
+        """Number of distinct nets routed over an edge (``demand_e``)."""
+        return len(self.edge_nets(edge_index))
+
+    def net_uses(self, net_index: int) -> List[NetEdgeUse]:
+        """Directed TDM edge uses of a net (one per edge+direction)."""
+        self._ensure_cache()
+        return self._net_uses.get(net_index, [])
+
+    def all_net_uses(self) -> List[NetEdgeUse]:
+        """Every (net, TDM edge, direction) use in the solution."""
+        self._ensure_cache()
+        uses: List[NetEdgeUse] = []
+        for net_uses in self._net_uses.values():
+            uses.extend(net_uses)
+        return uses
+
+    def directed_tdm_nets(self, edge_index: int, direction: int) -> List[int]:
+        """Nets using a TDM edge in the given direction (in routing order)."""
+        self._ensure_cache()
+        return list(self._directed_nets.get((edge_index, direction), []))
+
+    def sll_overflows(self) -> List[SllOverflow]:
+        """SLL edges whose demand exceeds capacity."""
+        self._ensure_cache()
+        overflows = []
+        for edge in self.system.sll_edges:
+            demand = len(self._edge_nets[edge.index])
+            if demand > edge.capacity:
+                overflows.append(
+                    SllOverflow(edge_index=edge.index, demand=demand, capacity=edge.capacity)
+                )
+        return overflows
+
+    def conflict_count(self) -> int:
+        """Total SLL overflow (the paper's #CONF metric)."""
+        return sum(o.excess for o in self.sll_overflows())
+
+    # ------------------------------------------------------------------
+    # Ratios and wires
+    # ------------------------------------------------------------------
+    def set_ratio(self, net_index: int, edge_index: int, direction: int, ratio: float) -> None:
+        """Assign the TDM ratio of a net on a directed TDM edge."""
+        if ratio <= 0:
+            raise ValueError("TDM ratios must be positive")
+        self.ratios[(net_index, edge_index, direction)] = ratio
+
+    def ratio_of(self, net_index: int, edge_index: int, direction: int) -> float:
+        """The TDM ratio of a net on a directed TDM edge.
+
+        Raises:
+            KeyError: when no ratio has been assigned yet.
+        """
+        return self.ratios[(net_index, edge_index, direction)]
+
+    def copy_topology(self) -> "RoutingSolution":
+        """A new solution with the same paths but no ratios or wires.
+
+        Used by the Fig. 5(a) experiment: re-run our TDM algorithms on a
+        baseline router's topology.
+        """
+        clone = RoutingSolution(self.system, self.netlist)
+        for index, path in enumerate(self._paths):
+            if path is not None:
+                clone._paths[index] = path
+        clone._cache_valid = False
+        return clone
+
+    def __repr__(self) -> str:
+        routed = sum(1 for p in self._paths if p is not None)
+        return (
+            f"RoutingSolution(routed={routed}/{len(self._paths)}, "
+            f"ratios={len(self.ratios)}, wired_edges={len(self.wires)})"
+        )

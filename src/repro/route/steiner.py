@@ -1,0 +1,101 @@
+"""Steiner-tree heuristic on the die graph.
+
+Implements the classic nearest-terminal-attachment heuristic (the
+path-growing variant of Mehlhorn's 2-approximation [13] in the paper's
+references): grow a tree from the source, repeatedly attaching the
+cheapest-to-reach remaining terminal via its shortest path to the current
+tree.  Used by the usage-minimizing baseline routers ([8]/[18]-style); the
+paper's own router routes per connection instead (Section III-B).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.route.dijkstra import EdgeCostFn
+
+
+def steiner_tree_paths(
+    adjacency: Sequence[Sequence[Tuple[int, int]]],
+    source: int,
+    sinks: Sequence[int],
+    edge_cost: EdgeCostFn,
+) -> Dict[int, List[int]]:
+    """Route a multi-fanout net as a Steiner tree.
+
+    Args:
+        adjacency: per-die ``(edge_index, other_die)`` pairs.
+        source: the net's source die.
+        sinks: the die-crossing sink dies (each != source).
+        edge_cost: non-negative traversal cost per directed edge use.
+
+    Returns:
+        A die path per sink, from ``source`` to the sink.  All returned
+        paths are paths *within one tree*, so their union is loop-free.
+
+    Raises:
+        ValueError: if some sink is unreachable.
+    """
+    targets = [s for s in dict.fromkeys(sinks) if s != source]
+    if not targets:
+        return {}
+    n = len(adjacency)
+    in_tree: Set[int] = {source}
+    # parent[v] = die preceding v on the tree path towards the source.
+    parent: Dict[int, int] = {source: -1}
+    remaining = set(targets)
+    while remaining:
+        # Multi-source Dijkstra from the whole current tree.
+        dist = [float("inf")] * n
+        prev = [-1] * n
+        heap: List[Tuple[float, int]] = []
+        for die in in_tree:
+            dist[die] = 0.0
+            heap.append((0.0, die))
+        heapq.heapify(heap)
+        found = -1
+        while heap:
+            d, die = heapq.heappop(heap)
+            if d > dist[die]:
+                continue
+            if die in remaining:
+                found = die
+                break
+            for edge_index, other in adjacency[die]:
+                nd = d + edge_cost(edge_index, die, other)
+                if nd < dist[other]:
+                    dist[other] = nd
+                    prev[other] = die
+                    heapq.heappush(heap, (nd, other))
+        if found < 0:
+            raise ValueError(f"sinks {sorted(remaining)} unreachable from tree")
+        # Attach the path from the tree to the found terminal.
+        attach_path = [found]
+        while prev[attach_path[-1]] >= 0:
+            attach_path.append(prev[attach_path[-1]])
+        attach_path.reverse()  # runs tree ... found
+        for ancestor, die in zip(attach_path, attach_path[1:]):
+            if die not in in_tree:
+                parent[die] = ancestor
+                in_tree.add(die)
+        remaining.discard(found)
+
+    # Derive the per-sink path inside the tree by walking parents.
+    paths: Dict[int, List[int]] = {}
+    for sink in targets:
+        path = [sink]
+        while path[-1] != source:
+            path.append(parent[path[-1]])
+        path.reverse()
+        paths[sink] = path
+    return paths
+
+
+def tree_edge_count(paths: Dict[int, List[int]]) -> int:
+    """Number of distinct undirected edges used by a set of tree paths."""
+    edges: Set[Tuple[int, int]] = set()
+    for path in paths.values():
+        for a, b in zip(path, path[1:]):
+            edges.add((min(a, b), max(a, b)))
+    return len(edges)

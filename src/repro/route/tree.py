@@ -1,0 +1,80 @@
+"""Helpers for routed paths and per-net routed trees."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.arch.system import MultiFpgaSystem
+
+
+def path_to_edge_list(
+    system: MultiFpgaSystem, dies: Sequence[int]
+) -> List[Tuple[int, int]]:
+    """Convert a die path to ``(edge_index, direction)`` hops.
+
+    Args:
+        system: the system the path lives in.
+        dies: consecutive die indices of the path.
+
+    Returns:
+        One ``(edge_index, direction)`` per hop; direction 0 means the hop
+        runs from the edge's ``die_a`` to ``die_b``.
+
+    Raises:
+        ValueError: if consecutive dies are not adjacent, or the path
+            revisits a die (paths must be loop-free per the connectivity
+            rule).
+    """
+    if len(dies) < 1:
+        raise ValueError("a path needs at least one die")
+    if len(set(dies)) != len(dies):
+        raise ValueError(f"path revisits a die: {list(dies)}")
+    hops: List[Tuple[int, int]] = []
+    for from_die, to_die in zip(dies, dies[1:]):
+        edge = system.edge_between(from_die, to_die)
+        if edge is None:
+            raise ValueError(f"dies {from_die} and {to_die} are not adjacent")
+        direction = 0 if from_die == edge.die_a else 1
+        hops.append((edge.index, direction))
+    return hops
+
+
+def edges_form_tree(
+    edge_endpoints: Iterable[Tuple[int, int]],
+) -> bool:
+    """Whether an edge set forms a forest (no cycles).
+
+    Used by the DRC to verify that a net's union of routed paths contains
+    no loop.
+
+    Args:
+        edge_endpoints: ``(die_a, die_b)`` pairs, one per distinct edge.
+
+    Returns:
+        True when the edge set is acyclic.
+    """
+    parent: Dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for a, b in edge_endpoints:
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            return False
+        parent[ra] = rb
+    return True
+
+
+def net_edge_union(paths: Iterable[Sequence[int]]) -> Set[Tuple[int, int]]:
+    """Union of undirected die-pair hops over several die paths."""
+    edges: Set[Tuple[int, int]] = set()
+    for path in paths:
+        for a, b in zip(path, path[1:]):
+            edges.add((min(a, b), max(a, b)))
+    return edges

@@ -1,0 +1,65 @@
+"""The SLL/TDM delay model.
+
+Defaults are calibrated so that a connection crossing one SLL edge and one
+TDM edge at the minimum legal ratio costs ``0.5 + 2.0 + 0.5 * 8 = 6.5``,
+the optimal critical delay of contest Case #1 reported in Table III (the
+contest's exact constants are not public; see DESIGN.md substitution 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Delay constants of the die-level routing problem.
+
+    Attributes:
+        d_sll: constant delay of every physical SLL wire (``d_SLL``).
+        d0: fixed delay component of a TDM wire.
+        d1: per-ratio delay component of a TDM wire; a wire with TDM ratio
+            ``r`` has delay ``d0 + d1 * r``.
+        tdm_step: the TDM step ``p``; every legal TDM ratio is a positive
+            multiple of it.
+    """
+
+    d_sll: float = 0.5
+    d0: float = 2.0
+    d1: float = 0.5
+    tdm_step: int = 8
+
+    def __post_init__(self) -> None:
+        if self.d_sll < 0 or self.d0 < 0 or self.d1 <= 0:
+            raise ValueError("delays must be non-negative and d1 positive")
+        if self.tdm_step <= 0:
+            raise ValueError("tdm_step must be a positive integer")
+
+    def sll_delay(self) -> float:
+        """Delay contributed by one SLL edge on a path."""
+        return self.d_sll
+
+    def tdm_delay(self, ratio: float) -> float:
+        """Delay contributed by one TDM edge at TDM ratio ``ratio``."""
+        return self.d0 + self.d1 * ratio
+
+    @property
+    def min_tdm_delay(self) -> float:
+        """Delay of a TDM edge at the minimum legal ratio (one TDM step)."""
+        return self.tdm_delay(self.tdm_step)
+
+    def legalize_ratio(self, ratio: float) -> int:
+        """Round ``ratio`` up to the nearest positive multiple of the step."""
+        if ratio <= 0:
+            return self.tdm_step
+        steps = math.ceil(ratio / self.tdm_step - 1e-12)
+        return max(1, steps) * self.tdm_step
+
+    def is_legal_ratio(self, ratio: float) -> bool:
+        """Whether ``ratio`` is a positive multiple of the TDM step."""
+        if ratio <= 0:
+            return False
+        if abs(ratio - round(ratio)) > 1e-9:
+            return False
+        return round(ratio) % self.tdm_step == 0

@@ -1,0 +1,73 @@
+"""Emulation frequency estimation.
+
+The delay values of the routing problem are in TDM-clock cycles (Fig. 1(c)
+of the paper: the TDM clock runs much faster than the system clock, and a
+wire with ratio ``r`` needs ``r`` TDM cycles per system cycle).  The
+achievable system clock is therefore bounded by how many TDM cycles the
+critical connection needs::
+
+    f_system <= f_tdm / critical_connection_delay
+
+This module turns critical delays into MHz numbers a prototyping team can
+put on a slide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class FrequencyEstimate:
+    """Achievable system frequency for one routing solution.
+
+    Attributes:
+        tdm_clock_mhz: TDM (fast) clock frequency.
+        critical_delay: critical connection delay in TDM cycles.
+        system_clock_mhz: resulting system-clock bound.
+    """
+
+    tdm_clock_mhz: float
+    critical_delay: float
+    system_clock_mhz: float
+
+
+class FrequencyEstimator:
+    """Converts critical delays into system clock frequencies.
+
+    Args:
+        tdm_clock_mhz: the TDM clock frequency (e.g. 1000.0 for a 1 GHz
+            serializer clock).
+    """
+
+    def __init__(self, tdm_clock_mhz: float = 1000.0) -> None:
+        if tdm_clock_mhz <= 0:
+            raise ValueError("tdm_clock_mhz must be positive")
+        self.tdm_clock_mhz = tdm_clock_mhz
+
+    def estimate(self, critical_delay: float) -> FrequencyEstimate:
+        """System frequency bound for a given critical delay."""
+        if critical_delay < 0:
+            raise ValueError("critical_delay must be non-negative")
+        if critical_delay == 0:
+            system = self.tdm_clock_mhz  # no inter-die hop limits the clock
+        else:
+            system = self.tdm_clock_mhz / critical_delay
+        return FrequencyEstimate(
+            tdm_clock_mhz=self.tdm_clock_mhz,
+            critical_delay=critical_delay,
+            system_clock_mhz=system,
+        )
+
+    def compare(
+        self, delays: List[Tuple[str, float]]
+    ) -> List[Tuple[str, FrequencyEstimate]]:
+        """Estimate frequencies for several labelled solutions."""
+        return [(label, self.estimate(delay)) for label, delay in delays]
+
+    def speedup(self, baseline_delay: float, improved_delay: float) -> float:
+        """Frequency ratio between an improved and a baseline solution."""
+        if baseline_delay <= 0 or improved_delay <= 0:
+            raise ValueError("delays must be positive to compare")
+        return baseline_delay / improved_delay

@@ -1,0 +1,69 @@
+"""Shared fixtures: small systems, netlists and routed solutions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    DelayModel,
+    Net,
+    Netlist,
+    RouterConfig,
+    SynergisticRouter,
+    SystemBuilder,
+)
+
+
+def build_two_fpga_system(sll_capacity=100, tdm_capacity=16, num_tdm_edges=2):
+    """2 FPGAs x 4 dies, chain SLL, TDM edges between facing dies."""
+    builder = SystemBuilder()
+    a = builder.add_fpga(num_dies=4, sll_capacity=sll_capacity)
+    b = builder.add_fpga(num_dies=4, sll_capacity=sll_capacity)
+    builder.add_tdm_edge(a.die(3), b.die(0), tdm_capacity)
+    if num_tdm_edges >= 2:
+        builder.add_tdm_edge(a.die(0), b.die(3), tdm_capacity)
+    if num_tdm_edges >= 3:
+        builder.add_tdm_edge(a.die(1), b.die(2), tdm_capacity)
+    return builder.build()
+
+
+def random_netlist(system, num_nets, seed=7, max_fanout=3, prefix="n"):
+    """Uniform random netlist over the system's dies."""
+    rng = random.Random(seed)
+    dies = system.num_dies
+    nets = []
+    for i in range(num_nets):
+        source = rng.randrange(dies)
+        fanout = rng.randint(1, max_fanout)
+        sinks = tuple(rng.sample(range(dies), fanout))
+        nets.append(Net(f"{prefix}{i}", source, sinks))
+    return Netlist(nets)
+
+
+@pytest.fixture
+def delay_model():
+    return DelayModel()
+
+
+@pytest.fixture
+def two_fpga_system():
+    return build_two_fpga_system()
+
+
+@pytest.fixture
+def small_netlist(two_fpga_system):
+    return random_netlist(two_fpga_system, 40, seed=3)
+
+
+@pytest.fixture
+def routed_result(two_fpga_system, small_netlist, delay_model):
+    """A complete routing result on the small case."""
+    router = SynergisticRouter(two_fpga_system, small_netlist, delay_model)
+    return router.route()
+
+
+@pytest.fixture
+def router_config():
+    return RouterConfig()

@@ -1,0 +1,135 @@
+"""Tests for the analysis package (sweeps + netlist statistics)."""
+
+import pytest
+
+from repro import DelayModel, Net, Netlist, SystemBuilder
+from repro.analysis import (
+    netlist_stats,
+    sweep_delay_models,
+    sweep_tdm_capacity,
+    sweep_tdm_step,
+)
+from tests.conftest import build_two_fpga_system, random_netlist
+
+
+def cross_traffic_netlist(system, count=60, seed=5):
+    import random
+
+    rng = random.Random(seed)
+    nets = []
+    for i in range(count):
+        src = rng.randrange(4)
+        dst = 4 + rng.randrange(4)
+        if rng.random() < 0.5:
+            src, dst = dst, src
+        nets.append(Net(f"n{i}", src, (dst,)))
+    return Netlist(nets)
+
+
+class TestCapacitySweep:
+    def test_delay_monotone_in_capacity(self):
+        def build(capacity):
+            builder = SystemBuilder()
+            a = builder.add_fpga(num_dies=4, sll_capacity=500)
+            b = builder.add_fpga(num_dies=4, sll_capacity=500)
+            builder.add_tdm_edge(a.die(3), b.die(0), capacity)
+            builder.add_tdm_edge(a.die(0), b.die(3), capacity)
+            return builder.build()
+
+        result = sweep_tdm_capacity(
+            build,
+            lambda system: cross_traffic_netlist(system),
+            capacities=[4, 16, 64],
+        )
+        delays = [p.critical_delay for p in result.points]
+        # More wires never hurt (weakly monotone).
+        assert delays[0] >= delays[1] >= delays[2]
+        assert result.best().parameter == 64 or delays[1] == delays[2]
+
+    def test_rows_render(self):
+        def build(capacity):
+            return build_two_fpga_system(tdm_capacity=capacity)
+
+        result = sweep_tdm_capacity(
+            build, lambda s: random_netlist(s, 20), capacities=[8]
+        )
+        rows = result.as_rows()
+        assert len(rows) == 2
+        assert "delay" in rows[0]
+
+
+class TestStepSweep:
+    def test_smaller_step_never_worse(self):
+        system = build_two_fpga_system(tdm_capacity=16)
+        netlist = cross_traffic_netlist(system, count=80)
+        result = sweep_tdm_step(system, netlist, steps=[1, 8])
+        fine, coarse = result.points
+        assert fine.critical_delay <= coarse.critical_delay + 1e-9
+
+    def test_parameters_recorded(self):
+        system = build_two_fpga_system()
+        netlist = random_netlist(system, 10)
+        result = sweep_tdm_step(system, netlist, steps=[2, 4])
+        assert [p.parameter for p in result.points] == [2, 4]
+
+
+class TestDelayModelSweep:
+    def test_labels_preserved(self):
+        system = build_two_fpga_system()
+        netlist = random_netlist(system, 15)
+        models = {
+            "default": DelayModel(),
+            "fine": DelayModel(d_sll=1.0, d0=1.0, d1=1.0, tdm_step=4),
+        }
+        result = sweep_delay_models(system, netlist, models)
+        assert [p.parameter for p in result.points] == ["default", "fine"]
+        assert all(p.conflict_count == 0 for p in result.points)
+
+    def test_legal_points_filter(self):
+        system = build_two_fpga_system()
+        netlist = random_netlist(system, 15)
+        result = sweep_delay_models(system, netlist, {"m": DelayModel()})
+        assert len(result.legal_points()) == 1
+
+
+class TestNetlistStats:
+    def test_counts(self):
+        system = build_two_fpga_system()
+        netlist = Netlist(
+            [
+                Net("intra", 0, (0,)),
+                Net("local", 0, (1,)),
+                Net("cross", 0, (4, 5)),
+            ]
+        )
+        stats = netlist_stats(system, netlist)
+        assert stats.num_nets == 3
+        assert stats.num_connections == 3
+        assert stats.intra_die_nets == 1
+        assert stats.cross_fpga_connections == 2
+        assert stats.fanout_histogram == {0: 1, 1: 1, 2: 1}
+        assert stats.max_fanout == 2
+        assert stats.cross_fpga_fraction == pytest.approx(2 / 3)
+
+    def test_die_pin_counts(self):
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("a", 0, (1, 1, 2))])
+        stats = netlist_stats(system, netlist)
+        assert stats.die_pin_counts[0] == 1
+        assert stats.die_pin_counts[1] == 1  # duplicate sinks collapsed
+        assert stats.die_pin_counts[2] == 1
+        assert stats.busiest_die() in (0, 1, 2)
+
+    def test_empty_netlist(self):
+        system = build_two_fpga_system()
+        stats = netlist_stats(system, Netlist([]))
+        assert stats.cross_fpga_fraction == 0.0
+        assert stats.busiest_die() == -1
+
+    def test_generator_matches_published_shape(self):
+        """Generated case09 keeps the published intra-die-heavy profile."""
+        from repro.benchgen import load_case
+
+        case = load_case("case09", scale=0.05)
+        stats = netlist_stats(case.system, case.netlist)
+        assert stats.intra_die_nets > stats.num_nets / 2

@@ -1,0 +1,137 @@
+"""Unit tests for the system builder."""
+
+import pytest
+
+from repro.arch.builder import SystemBuilder
+
+
+class TestAddFpga:
+    def test_chain_topology_edge_count(self):
+        builder = SystemBuilder()
+        builder.add_fpga(num_dies=4, sll_capacity=10)
+        builder.add_fpga(num_dies=4, sll_capacity=10)
+        builder.add_tdm_edge(3, 4, 4)
+        system = builder.build()
+        assert len(system.sll_edges) == 6
+        # Chain: consecutive die pairs only.
+        pairs = {edge.dies for edge in system.sll_edges}
+        assert pairs == {(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)}
+
+    def test_handle_die_lookup(self):
+        builder = SystemBuilder()
+        a = builder.add_fpga(num_dies=3)
+        b = builder.add_fpga(num_dies=2)
+        assert a.die(0) == 0 and a.die(2) == 2
+        assert b.die(0) == 3 and b.die(1) == 4
+        assert a.num_dies == 3 and b.num_dies == 2
+
+    def test_per_edge_capacities(self):
+        builder = SystemBuilder()
+        builder.add_fpga(num_dies=3, sll_capacity=[5, 9])
+        builder.add_fpga(num_dies=1)
+        builder.add_tdm_edge(0, 3, 4)
+        system = builder.build()
+        caps = {edge.dies: edge.capacity for edge in system.sll_edges}
+        assert caps == {(0, 1): 5, (1, 2): 9}
+
+    def test_capacity_sequence_length_checked(self):
+        builder = SystemBuilder()
+        with pytest.raises(ValueError, match="expected 3"):
+            builder.add_fpga(num_dies=4, sll_capacity=[5, 9])
+
+    def test_topology_none_adds_no_edges(self):
+        builder = SystemBuilder()
+        builder.add_fpga(num_dies=2, topology="none")
+        builder.add_fpga(num_dies=1)
+        builder.add_sll_edge(0, 1, 7)
+        builder.add_tdm_edge(1, 2, 4)
+        system = builder.build()
+        assert len(system.sll_edges) == 1
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="topology"):
+            SystemBuilder().add_fpga(num_dies=2, topology="mesh")
+
+    def test_zero_dies_rejected(self):
+        with pytest.raises(ValueError):
+            SystemBuilder().add_fpga(num_dies=0)
+
+    def test_custom_names(self):
+        builder = SystemBuilder()
+        builder.add_fpga(num_dies=2, name="left")
+        builder.add_fpga(num_dies=2, name="right")
+        builder.add_tdm_edge(1, 2, 4)
+        system = builder.build()
+        assert system.fpgas[0].name == "left"
+        assert system.dies[0].name == "left.die0"
+        assert system.dies[3].name == "right.die1"
+
+
+class TestGridTopology:
+    def test_2x2_grid(self):
+        builder = SystemBuilder()
+        builder.add_fpga(num_dies=4, sll_capacity=5, topology="grid", grid_width=2)
+        builder.add_fpga(num_dies=1)
+        builder.add_tdm_edge(0, 4, 4)
+        system = builder.build()
+        pairs = {edge.dies for edge in system.sll_edges}
+        assert pairs == {(0, 1), (0, 2), (1, 3), (2, 3)}
+
+    def test_3x2_grid(self):
+        builder = SystemBuilder()
+        builder.add_fpga(num_dies=6, sll_capacity=5, topology="grid", grid_width=3)
+        builder.add_fpga(num_dies=1)
+        builder.add_tdm_edge(0, 6, 4)
+        system = builder.build()
+        pairs = {edge.dies for edge in system.sll_edges}
+        assert pairs == {
+            (0, 1), (1, 2), (3, 4), (4, 5),  # rows
+            (0, 3), (1, 4), (2, 5),          # columns
+        }
+
+    def test_ragged_grid_stays_connected(self):
+        builder = SystemBuilder()
+        builder.add_fpga(num_dies=5, sll_capacity=5, topology="grid", grid_width=2)
+        builder.add_fpga(num_dies=1)
+        builder.add_tdm_edge(0, 5, 4)
+        system = builder.build()  # construction validates connectivity
+        assert system.num_dies == 6
+
+    def test_default_width_square(self):
+        builder = SystemBuilder()
+        builder.add_fpga(num_dies=4, sll_capacity=5, topology="grid")
+        builder.add_fpga(num_dies=1)
+        builder.add_tdm_edge(0, 4, 4)
+        system = builder.build()
+        assert len(system.sll_edges) == 4
+
+    def test_grid_routes(self):
+        from repro import Net, Netlist, SynergisticRouter
+
+        builder = SystemBuilder()
+        a = builder.add_fpga(num_dies=4, sll_capacity=20, topology="grid")
+        b = builder.add_fpga(num_dies=4, sll_capacity=20, topology="grid")
+        builder.add_tdm_edge(a.die(3), b.die(0), 8)
+        system = builder.build()
+        netlist = Netlist([Net("x", 0, (7,)), Net("y", 2, (1, 5))])
+        result = SynergisticRouter(system, netlist).route()
+        assert result.conflict_count == 0
+
+
+class TestEdgeOrdering:
+    def test_sll_edges_before_tdm_edges(self):
+        builder = SystemBuilder()
+        builder.add_fpga(num_dies=2, sll_capacity=5)
+        builder.add_fpga(num_dies=2, sll_capacity=5)
+        builder.add_tdm_edge(1, 2, 4)
+        system = builder.build()
+        kinds = [edge.kind.value for edge in system.edges]
+        assert kinds == ["sll", "sll", "tdm"]
+
+    def test_endpoint_order_normalized(self):
+        builder = SystemBuilder()
+        builder.add_fpga(num_dies=2, sll_capacity=5)
+        builder.add_fpga(num_dies=2, sll_capacity=5)
+        builder.add_tdm_edge(2, 1, 4)  # reversed on purpose
+        system = builder.build()
+        assert system.tdm_edges[0].dies == (1, 2)

@@ -1,0 +1,90 @@
+"""Unit tests for edge types and direction helpers."""
+
+import pytest
+
+from repro.arch.edges import (
+    DirectedTdmEdge,
+    EdgeKind,
+    SllEdge,
+    TdmEdge,
+    TdmWire,
+    direction_of,
+)
+
+
+class TestSllEdge:
+    def test_basic_attributes(self):
+        edge = SllEdge(index=0, die_a=1, die_b=2, capacity=100)
+        assert edge.kind is EdgeKind.SLL
+        assert edge.dies == (1, 2)
+        assert edge.capacity == 100
+
+    def test_other_endpoint(self):
+        edge = SllEdge(index=0, die_a=1, die_b=2, capacity=5)
+        assert edge.other(1) == 2
+        assert edge.other(2) == 1
+
+    def test_other_rejects_non_endpoint(self):
+        edge = SllEdge(index=0, die_a=1, die_b=2, capacity=5)
+        with pytest.raises(ValueError):
+            edge.other(3)
+
+    def test_endpoints_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            SllEdge(index=0, die_a=2, die_b=1, capacity=5)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            SllEdge(index=0, die_a=1, die_b=1, capacity=5)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SllEdge(index=0, die_a=0, die_b=1, capacity=0)
+
+
+class TestTdmEdge:
+    def test_basic_attributes(self):
+        edge = TdmEdge(index=3, die_a=0, die_b=4, capacity=16)
+        assert edge.kind is EdgeKind.TDM
+        assert edge.dies == (0, 4)
+
+    def test_capacity_must_allow_both_directions(self):
+        with pytest.raises(ValueError):
+            TdmEdge(index=0, die_a=0, die_b=4, capacity=1)
+
+    def test_directed_view(self):
+        edge = TdmEdge(index=3, die_a=0, die_b=4, capacity=16)
+        forward = edge.directed(0)
+        assert forward.source_die == 0
+        assert forward.target_die == 4
+        assert forward.key == (3, 0)
+        backward = edge.directed(1)
+        assert backward.source_die == 4
+        assert backward.target_die == 0
+
+    def test_directed_rejects_bad_direction(self):
+        edge = TdmEdge(index=3, die_a=0, die_b=4, capacity=16)
+        with pytest.raises(ValueError):
+            DirectedTdmEdge(edge, 2)
+
+
+class TestDirectionOf:
+    def test_forward(self):
+        assert direction_of(0, 4, 0, 4) == 0
+
+    def test_backward(self):
+        assert direction_of(0, 4, 4, 0) == 1
+
+    def test_rejects_unrelated_pair(self):
+        with pytest.raises(ValueError):
+            direction_of(0, 4, 1, 4)
+
+
+class TestTdmWire:
+    def test_demand_tracks_nets(self):
+        wire = TdmWire(edge_index=2, direction=0, ratio=8)
+        assert wire.demand == 0
+        wire.add_net(5)
+        wire.add_net(9)
+        assert wire.demand == 2
+        assert wire.net_indices == [5, 9]

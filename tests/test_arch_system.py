@@ -1,0 +1,128 @@
+"""Unit tests for the multi-FPGA system model."""
+
+import pytest
+
+from repro.arch.edges import SllEdge, TdmEdge
+from repro.arch.system import Die, Fpga, MultiFpgaSystem, iter_directed_tdm_edges
+from tests.conftest import build_two_fpga_system
+
+
+def make_dies(counts):
+    """Dies for FPGAs with the given die counts."""
+    dies, fpgas, index = [], [], 0
+    for fpga_index, count in enumerate(counts):
+        members = []
+        for _ in range(count):
+            dies.append(Die(index=index, fpga_index=fpga_index, name=f"d{index}"))
+            members.append(index)
+            index += 1
+        fpgas.append(Fpga(index=fpga_index, name=f"f{fpga_index}", die_indices=tuple(members)))
+    return dies, fpgas
+
+
+class TestConstruction:
+    def test_valid_system(self):
+        system = build_two_fpga_system()
+        assert system.num_fpgas == 2
+        assert system.num_dies == 8
+        assert len(system.sll_edges) == 6
+        assert len(system.tdm_edges) == 2
+
+    def test_sll_must_stay_within_fpga(self):
+        dies, fpgas = make_dies([2, 2])
+        edges = [SllEdge(index=0, die_a=1, die_b=2, capacity=5)]
+        with pytest.raises(ValueError, match="crosses FPGAs"):
+            MultiFpgaSystem(dies, fpgas, edges)
+
+    def test_tdm_must_cross_fpgas(self):
+        dies, fpgas = make_dies([2, 2])
+        edges = [
+            SllEdge(index=0, die_a=0, die_b=1, capacity=5),
+            SllEdge(index=1, die_a=2, die_b=3, capacity=5),
+            TdmEdge(index=2, die_a=0, die_b=1, capacity=4),
+        ]
+        with pytest.raises(ValueError, match="same FPGA"):
+            MultiFpgaSystem(dies, fpgas, edges)
+
+    def test_parallel_edges_rejected(self):
+        dies, fpgas = make_dies([2, 2])
+        edges = [
+            SllEdge(index=0, die_a=0, die_b=1, capacity=5),
+            SllEdge(index=1, die_a=0, die_b=1, capacity=5),
+            SllEdge(index=2, die_a=2, die_b=3, capacity=5),
+            TdmEdge(index=3, die_a=1, die_b=2, capacity=4),
+        ]
+        with pytest.raises(ValueError, match="parallel"):
+            MultiFpgaSystem(dies, fpgas, edges)
+
+    def test_disconnected_system_rejected(self):
+        dies, fpgas = make_dies([2, 2])
+        edges = [
+            SllEdge(index=0, die_a=0, die_b=1, capacity=5),
+            SllEdge(index=1, die_a=2, die_b=3, capacity=5),
+        ]
+        with pytest.raises(ValueError, match="disconnected"):
+            MultiFpgaSystem(dies, fpgas, edges)
+
+    def test_bad_edge_index_rejected(self):
+        dies, fpgas = make_dies([2, 2])
+        edges = [
+            SllEdge(index=1, die_a=0, die_b=1, capacity=5),
+        ]
+        with pytest.raises(ValueError, match="edge at position"):
+            MultiFpgaSystem(dies, fpgas, edges)
+
+    def test_duplicate_die_names_rejected(self):
+        dies = [
+            Die(index=0, fpga_index=0, name="same"),
+            Die(index=1, fpga_index=0, name="same"),
+        ]
+        fpgas = [Fpga(index=0, name="f0", die_indices=(0, 1))]
+        edges = [SllEdge(index=0, die_a=0, die_b=1, capacity=5)]
+        with pytest.raises(ValueError, match="unique"):
+            MultiFpgaSystem(dies, fpgas, edges)
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ValueError):
+            MultiFpgaSystem([], [], [])
+
+
+class TestAccessors:
+    def test_neighbors(self):
+        system = build_two_fpga_system()
+        neighbors = dict(
+            (other, edge) for edge, other in system.neighbors(0)
+        )
+        assert 1 in neighbors  # chain partner
+        assert 7 in neighbors  # TDM partner (a.die0 - b.die3)
+
+    def test_edge_between(self):
+        system = build_two_fpga_system()
+        edge = system.edge_between(0, 1)
+        assert edge is not None and edge.dies == (0, 1)
+        assert system.edge_between(1, 0) is edge
+        assert system.edge_between(0, 5) is None
+
+    def test_fpga_of(self):
+        system = build_two_fpga_system()
+        assert system.fpga_of(0).index == 0
+        assert system.fpga_of(7).index == 1
+
+    def test_wire_totals(self):
+        system = build_two_fpga_system(sll_capacity=10, tdm_capacity=4)
+        assert system.total_sll_wires() == 6 * 10
+        assert system.total_tdm_wires() == 2 * 4
+
+    def test_repr_mentions_counts(self):
+        text = repr(build_two_fpga_system())
+        assert "fpgas=2" in text and "dies=8" in text
+
+
+def test_iter_directed_tdm_edges():
+    system = build_two_fpga_system()
+    directed = list(iter_directed_tdm_edges(system))
+    tdm_indices = {edge.index for edge in system.tdm_edges}
+    assert len(directed) == 2 * len(tdm_indices)
+    assert {(e, d) for e, d in directed} == {
+        (e, d) for e in tdm_indices for d in (0, 1)
+    }

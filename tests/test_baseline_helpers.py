@@ -1,0 +1,118 @@
+"""Tests for the baseline helper utilities."""
+
+import numpy as np
+import pytest
+
+from repro import DelayModel, Net, Netlist
+from repro.baselines.base import (
+    even_chunk_sizes,
+    split_directions,
+    topology_criticality,
+    wires_needed,
+)
+from repro.core.incidence import TdmIncidence
+from repro.route.solution import RoutingSolution
+from tests.conftest import build_two_fpga_system
+
+
+class TestEvenChunkSizes:
+    def test_even(self):
+        assert even_chunk_sizes(9, 3) == [3, 3, 3]
+
+    def test_remainder_spread(self):
+        assert even_chunk_sizes(10, 3) == [4, 3, 3]
+
+    def test_more_chunks_than_items(self):
+        assert even_chunk_sizes(2, 4) == [1, 1, 0, 0]
+
+    def test_zero_items(self):
+        assert even_chunk_sizes(0, 2) == [0, 0]
+
+    def test_bad_chunks(self):
+        with pytest.raises(ValueError):
+            even_chunk_sizes(5, 0)
+
+
+class TestWiresNeeded:
+    def test_exact(self):
+        assert wires_needed(16, 8) == 2
+
+    def test_rounds_up(self):
+        assert wires_needed(17, 8) == 3
+
+    def test_zero_nets(self):
+        assert wires_needed(0, 8) == 0
+
+
+@pytest.fixture
+def directed_case():
+    system = build_two_fpga_system(tdm_capacity=6, num_tdm_edges=1)
+    netlist = Netlist(
+        [Net(f"fwd{i}", 3, (4,)) for i in range(4)]
+        + [Net("rev", 4, (3,))]
+    )
+    solution = RoutingSolution(system, netlist)
+    for i in range(4):
+        solution.set_path(i, [3, 4])
+    solution.set_path(4, [4, 3])
+    incidence = TdmIncidence(system, netlist, solution, DelayModel())
+    return system, incidence
+
+
+class TestSplitDirections:
+    def test_both_directions_served(self, directed_case):
+        system, incidence = directed_case
+        edge = system.edge_between(3, 4)
+        split = split_directions(incidence, edge.index, edge.capacity)
+        assert set(split) == {0, 1}
+        (pairs0, budget0) = split[0]
+        (pairs1, budget1) = split[1]
+        assert len(pairs0) == 4 and len(pairs1) == 1
+        assert budget0 + budget1 <= edge.capacity
+        assert budget0 >= budget1 >= 1
+
+    def test_single_direction_gets_everything(self):
+        system = build_two_fpga_system(tdm_capacity=6, num_tdm_edges=1)
+        netlist = Netlist([Net("fwd", 3, (4,))])
+        solution = RoutingSolution(system, netlist)
+        solution.set_path(0, [3, 4])
+        incidence = TdmIncidence(system, netlist, solution, DelayModel())
+        edge = system.edge_between(3, 4)
+        split = split_directions(incidence, edge.index, edge.capacity)
+        assert set(split) == {0}
+        assert split[0][1] == edge.capacity
+
+    def test_empty_edge(self):
+        system = build_two_fpga_system(tdm_capacity=6, num_tdm_edges=1)
+        netlist = Netlist([Net("sll_only", 0, (1,))])
+        solution = RoutingSolution(system, netlist)
+        solution.set_path(0, [0, 1])
+        incidence = TdmIncidence(system, netlist, solution, DelayModel())
+        edge = system.edge_between(3, 4)
+        assert split_directions(incidence, edge.index, edge.capacity) == {}
+
+    def test_capacity_too_small_for_both(self):
+        system = build_two_fpga_system(tdm_capacity=6, num_tdm_edges=1)
+        netlist = Netlist([Net("fwd", 3, (4,)), Net("rev", 4, (3,))])
+        solution = RoutingSolution(system, netlist)
+        solution.set_path(0, [3, 4])
+        solution.set_path(1, [4, 3])
+        incidence = TdmIncidence(system, netlist, solution, DelayModel())
+        edge = system.edge_between(3, 4)
+        with pytest.raises(ValueError, match="both directions"):
+            split_directions(incidence, edge.index, 1)
+
+
+class TestTopologyCriticality:
+    def test_min_ratio_default(self, directed_case):
+        system, incidence = directed_case
+        criticality = topology_criticality(incidence)
+        # Every connection is 1 TDM hop at the min ratio.
+        model = DelayModel()
+        assert np.allclose(criticality, model.min_tdm_delay)
+
+    def test_custom_ratios(self, directed_case):
+        system, incidence = directed_case
+        ratios = np.full(incidence.num_pairs, 16.0)
+        criticality = topology_criticality(incidence, ratios)
+        assert np.allclose(criticality, DelayModel().tdm_delay(16))

@@ -1,0 +1,194 @@
+"""Tests for the baseline routers and baseline TDM assigners."""
+
+import itertools
+
+import pytest
+
+from repro import DelayModel, DesignRuleChecker, Net, Netlist
+from repro.baselines import (
+    AdaptedFpgaLevelRouter,
+    ContestWinner1Router,
+    ContestWinner2Router,
+    ContestWinner3Router,
+    CriticalityTdmAssigner,
+    DpTdmAssigner,
+    Iseda2024Router,
+    SptTopologyRouter,
+    SteinerTopologyRouter,
+    all_baseline_routers,
+)
+from repro.baselines.dp_tdm import DP_GROUP_LIMIT
+from repro.core.initial_routing import InitialRouter
+from repro.route.tree import net_edge_union
+from tests.conftest import build_two_fpga_system, random_netlist
+
+ALL_ROUTERS = [
+    ContestWinner1Router,
+    ContestWinner2Router,
+    ContestWinner3Router,
+    Iseda2024Router,
+    AdaptedFpgaLevelRouter,
+]
+
+
+@pytest.fixture
+def feasible_case():
+    system = build_two_fpga_system(sll_capacity=200, tdm_capacity=16)
+    netlist = random_netlist(system, 60, seed=61)
+    return system, netlist
+
+
+class TestAllBaselines:
+    @pytest.mark.parametrize("router_cls", ALL_ROUTERS)
+    def test_routes_feasible_case_drc_clean(self, router_cls, feasible_case):
+        system, netlist = feasible_case
+        result = router_cls(system, netlist).route()
+        report = DesignRuleChecker(system, netlist, DelayModel()).check(result.solution)
+        assert report.is_clean, f"{router_cls.__name__}: {report.summary()}"
+        assert result.solution.is_complete
+
+    @pytest.mark.parametrize("router_cls", ALL_ROUTERS)
+    def test_reports_consistent_delay(self, router_cls, feasible_case):
+        system, netlist = feasible_case
+        from repro.timing import TimingAnalyzer
+
+        result = router_cls(system, netlist).route()
+        analyzer = TimingAnalyzer(system, netlist, DelayModel())
+        assert result.critical_delay == pytest.approx(
+            analyzer.critical_delay(result.solution)
+        )
+
+    def test_registry_contains_every_router(self):
+        registry = all_baseline_routers()
+        assert set(registry) == {
+            "winner1",
+            "winner2",
+            "winner3",
+            "iseda2024",
+            "adapted-fpga-level",
+        }
+
+
+class TestTopologyContrast:
+    def test_steiner_uses_fewer_edges_than_spt(self):
+        """Fig. 4's trade-off: Steiner trees use fewer routing edges."""
+        system = build_two_fpga_system(sll_capacity=500, tdm_capacity=64)
+        # Multi-fanout nets with spread-out sinks show the contrast.
+        netlist = Netlist(
+            [Net(f"n{i}", i % 4, (4, 5, 6, 7)) for i in range(12)]
+        )
+        steiner = SteinerTopologyRouter(system, netlist).route()
+        spt = SptTopologyRouter(system, netlist).route()
+
+        def total_edge_usage(solution):
+            total = 0
+            for net in netlist.nets:
+                paths = [
+                    solution.path(c.index)
+                    for c in netlist.connections_of(net.index)
+                ]
+                total += len(net_edge_union(paths))
+            return total
+
+        assert total_edge_usage(steiner) <= total_edge_usage(spt)
+
+
+class TestAdaptedFpgaLevel:
+    def test_overflows_on_congested_case(self):
+        # Tiny SLL capacity with heavy die-to-die traffic: a die-blind
+        # router must overflow (the Table III FAIL behaviour).
+        system = build_two_fpga_system(sll_capacity=2, tdm_capacity=16)
+        netlist = Netlist([Net(f"n{i}", 0, (1,)) for i in range(10)])
+        result = AdaptedFpgaLevelRouter(system, netlist).route()
+        assert result.conflict_count > 0
+        assert not result.is_legal
+
+
+class TestCriticalityTdm:
+    def test_even_packing_is_legal(self, feasible_case):
+        system, netlist = feasible_case
+        solution = InitialRouter(system, netlist).route()
+        CriticalityTdmAssigner(system, netlist, refine=False).assign(solution)
+        report = DesignRuleChecker(system, netlist, DelayModel()).check(solution)
+        assert report.is_clean
+
+    def test_refined_never_illegal(self, feasible_case):
+        system, netlist = feasible_case
+        solution = InitialRouter(system, netlist).route()
+        CriticalityTdmAssigner(system, netlist, refine=True).assign(solution)
+        report = DesignRuleChecker(system, netlist, DelayModel()).check(solution)
+        assert report.is_clean
+
+    def test_noop_without_tdm_usage(self):
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("a", 0, (1,))])
+        solution = InitialRouter(system, netlist).route()
+        CriticalityTdmAssigner(system, netlist).assign(solution)
+        assert solution.wires == {}
+
+
+class TestDpTdm:
+    def test_assignment_is_legal(self, feasible_case):
+        system, netlist = feasible_case
+        solution = InitialRouter(system, netlist).route()
+        DpTdmAssigner(system, netlist).assign(solution)
+        report = DesignRuleChecker(system, netlist, DelayModel()).check(solution)
+        assert report.is_clean
+
+    def test_dp_partition_optimal_vs_brute_force(self):
+        """The DP minimax matches exhaustive search on tiny inputs."""
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("a", 3, (4,))])
+        assigner = DpTdmAssigner(system, netlist)
+        model = DelayModel()
+
+        def cost_of_partition(base, sizes):
+            worst = 0.0
+            cursor = 0
+            for size in sizes:
+                ratio = model.legalize_ratio(size)
+                worst = max(worst, base[cursor] + model.d1 * ratio)
+                cursor += size
+            return worst
+
+        def brute_force(base, budget):
+            n = len(base)
+            best = float("inf")
+            for k in range(1, min(budget, n) + 1):
+                for cuts in itertools.combinations(range(1, n), k - 1):
+                    bounds = [0, *cuts, n]
+                    sizes = [b - a for a, b in zip(bounds, bounds[1:])]
+                    best = min(best, cost_of_partition(base, sizes))
+            return best
+
+        for base, budget in [
+            ([30.0, 20.0, 10.0, 5.0, 1.0], 2),
+            ([9.0, 9.0, 8.0, 2.0, 1.0, 0.5], 3),
+            ([5.0, 4.0, 3.0, 2.0], 4),
+            ([7.0], 3),
+        ]:
+            sizes = assigner._dp_partition(base, budget)
+            assert sum(sizes) == len(base)
+            assert len(sizes) <= budget
+            assert cost_of_partition(base, sizes) == pytest.approx(
+                brute_force(base, budget)
+            )
+
+    def test_fallback_beyond_limit(self):
+        system = build_two_fpga_system(tdm_capacity=200, num_tdm_edges=1)
+        netlist = Netlist([Net(f"n{i}", 3, (4,)) for i in range(30)])
+        solution = InitialRouter(system, netlist).route()
+        # Budget 200 exceeds DP_GROUP_LIMIT -> even-packing fallback.
+        assert 200 > DP_GROUP_LIMIT
+        DpTdmAssigner(system, netlist).assign(solution)
+        report = DesignRuleChecker(system, netlist, DelayModel()).check(solution)
+        assert report.is_clean
+
+
+class TestWinnerProfiles:
+    def test_winner3_restarts_cover_profiles(self, feasible_case):
+        system, netlist = feasible_case
+        router = ContestWinner3Router(system, netlist)
+        assert len(router.RESTART_PROFILES) >= 3
+        result = router.route()
+        assert result.solution.is_complete

@@ -1,0 +1,124 @@
+"""Tests for generator internals: fanout plan, TDM plan, scale overrides."""
+
+import random
+
+import pytest
+
+from repro.benchgen.contest_suite import SLL_SCALE_OVERRIDES, load_case
+from repro.benchgen.generator import (
+    BenchmarkSpec,
+    _fanout_plan,
+    _tdm_edge_plan,
+    generate_case,
+)
+
+
+class TestFanoutPlan:
+    def test_sums_exactly(self):
+        rng = random.Random(1)
+        plan = _fanout_plan(100, 250, max_fanout=7, rng=rng)
+        assert sum(plan) == 250
+        assert all(0 <= f <= 7 for f in plan)
+
+    def test_sparse(self):
+        rng = random.Random(2)
+        plan = _fanout_plan(50, 10, max_fanout=7, rng=rng)
+        assert sum(plan) == 10
+        assert plan.count(0) == 40
+
+    def test_saturation_graceful(self):
+        rng = random.Random(3)
+        plan = _fanout_plan(3, 1000, max_fanout=7, rng=rng)
+        assert plan == [7, 7, 7]
+
+    def test_heavy_tail_exists(self):
+        rng = random.Random(4)
+        plan = _fanout_plan(1000, 2500, max_fanout=7, rng=rng)
+        assert max(plan) >= 4  # the broadcast tail
+
+
+class TestTdmEdgePlan:
+    def make_spec(self, num_fpgas, num_edges):
+        return BenchmarkSpec(
+            "t",
+            num_fpgas=num_fpgas,
+            sll_wires_total=6000,
+            num_tdm_edges=num_edges,
+            tdm_wires_total=num_edges * 10,
+            num_nets=10,
+            num_connections=10,
+        )
+
+    def test_no_duplicates(self):
+        spec = self.make_spec(4, 20)
+        plan = _tdm_edge_plan(spec, random.Random(5))
+        assert len(plan) == 20
+        assert len(set(plan)) == 20
+
+    def test_crosses_fpgas(self):
+        spec = self.make_spec(3, 9)
+        plan = _tdm_edge_plan(spec, random.Random(6))
+        for die_a, die_b in plan:
+            assert die_a // 4 != die_b // 4
+
+    def test_attachments_spread_over_dies(self):
+        spec = self.make_spec(3, 12)
+        plan = _tdm_edge_plan(spec, random.Random(7))
+        attachments = [0] * 12
+        for die_a, die_b in plan:
+            attachments[die_a] += 1
+            attachments[die_b] += 1
+        # Even spread: no die is starved while another hoards.
+        assert max(attachments) - min(attachments) <= 2
+
+    def test_saturated_pair_terminates(self):
+        # 2 FPGAs x 4 dies: at most 16 cross pairs; ask for exactly 16.
+        spec = self.make_spec(2, 16)
+        plan = _tdm_edge_plan(spec, random.Random(8))
+        assert len(plan) == 16
+
+
+class TestScaleOverrides:
+    def test_override_applies_at_default_scale(self):
+        case = load_case("case10")
+        spec = case.spec
+        expected = max(
+            2,
+            round(
+                spec.sll_wires_total
+                * SLL_SCALE_OVERRIDES["case10"]
+                / spec.num_sll_edges
+            ),
+        )
+        assert case.system.sll_edges[0].capacity == expected
+
+    def test_explicit_scale_keeps_override_floor(self, monkeypatch):
+        monkeypatch.setitem(SLL_SCALE_OVERRIDES, "case02", 0.5)
+        small = load_case("case02", scale=0.25)
+        spec = small.spec
+        expected = round(spec.sll_wires_total * 0.5 / spec.num_sll_edges)
+        assert small.system.sll_edges[0].capacity == expected
+
+    def test_large_explicit_scale_wins(self, monkeypatch):
+        monkeypatch.setitem(SLL_SCALE_OVERRIDES, "case02", 0.25)
+        big = load_case("case02", scale=0.5)
+        spec = big.spec
+        expected = round(spec.sll_wires_total * 0.5 / spec.num_sll_edges)
+        assert big.system.sll_edges[0].capacity == expected
+
+
+class TestGenerateCaseValidation:
+    def test_sll_scale_validated(self):
+        spec = BenchmarkSpec(
+            "v",
+            num_fpgas=2,
+            sll_wires_total=600,
+            num_tdm_edges=2,
+            tdm_wires_total=20,
+            num_nets=5,
+            num_connections=5,
+        )
+        with pytest.raises(ValueError):
+            generate_case(spec, scale=0.5, sll_scale=0.0)
+        with pytest.raises(ValueError):
+            generate_case(spec, scale=0.5, sll_scale=1.5)

@@ -1,0 +1,153 @@
+"""In-process tests for the three CLI entry points."""
+
+import pytest
+
+from repro.cli.evaluate import main as eval_main
+from repro.cli.generate import main as gen_main
+from repro.cli.main import main as route_main
+
+
+@pytest.fixture
+def case_file(tmp_path):
+    gen_main(["case02", "--out-dir", str(tmp_path)])
+    path = tmp_path / "case02.case"
+    assert path.exists()
+    return path
+
+
+class TestReproGen:
+    def test_stats_only_writes_nothing(self, tmp_path, capsys):
+        code = gen_main(["case01", "--stats", "--out-dir", str(tmp_path / "x")])
+        assert code == 0
+        assert not (tmp_path / "x").exists()
+        out = capsys.readouterr().out
+        assert "case01" in out
+
+    def test_generates_files(self, case_file):
+        text = case_file.read_text()
+        assert "FPGA" in text and "NET" in text
+
+
+class TestReproRoute:
+    def test_route_case_file(self, case_file, tmp_path, capsys):
+        out = tmp_path / "sol.txt"
+        code = route_main(
+            ["--case-file", str(case_file), "--output", str(out), "--drc"]
+        )
+        assert code == 0
+        assert out.exists()
+        printed = capsys.readouterr().out
+        assert "critical delay" in printed
+        assert "DRC clean" in printed
+
+    def test_route_contest_case(self, capsys):
+        code = route_main(["--contest-case", "1", "--quiet"])
+        assert code == 0
+
+    def test_baseline_router_selection(self, capsys):
+        code = route_main(["--contest-case", "1", "--router", "winner2", "--quiet"])
+        assert code == 0
+
+    def test_unknown_router_rejected(self):
+        with pytest.raises(SystemExit):
+            route_main(["--contest-case", "1", "--router", "bogus"])
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(SystemExit):
+            route_main(["--quiet"])
+
+
+class TestReportAndJsonFlags:
+    def test_route_report_flag(self, case_file, capsys):
+        code = route_main(["--case-file", str(case_file), "--report", "--quiet"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "Edge utilization" in printed
+
+    def test_json_solution_round_trip(self, case_file, tmp_path, capsys):
+        out = tmp_path / "sol.json"
+        assert (
+            route_main(
+                ["--case-file", str(case_file), "-o", str(out), "--json", "--quiet"]
+            )
+            == 0
+        )
+        import json
+
+        json.loads(out.read_text())  # genuinely JSON
+        code = eval_main([str(case_file), str(out), "--json"])
+        assert code == 0
+        assert "DRC clean" in capsys.readouterr().out
+
+    def test_summary_json_flag(self, case_file, tmp_path):
+        import json
+
+        out = tmp_path / "summary.json"
+        code = route_main(
+            ["--case-file", str(case_file), "--summary-json", str(out), "--quiet"]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["conflicts"] == 0
+        assert data["critical_delay"] > 0
+
+    def test_precheck_passes_on_feasible_case(self, case_file, capsys):
+        code = route_main(["--case-file", str(case_file), "--precheck", "--quiet"])
+        assert code == 0
+
+    def test_precheck_aborts_on_infeasible_case(self, tmp_path, capsys):
+        case = tmp_path / "impossible.case"
+        case.write_text(
+            "FPGA a 3\nFPGA b 1\n"
+            "SLL 0 1 2\nSLL 1 2 2\nTDM 0 3 8\n"
+            + "".join(f"NET n{i} 1 0\n" for i in range(5))
+        )
+        code = route_main(["--case-file", str(case), "--precheck", "--quiet"])
+        assert code == 2
+        assert "INFEASIBLE" in capsys.readouterr().out
+
+    def test_svg_flag(self, case_file, tmp_path):
+        out = tmp_path / "system.svg"
+        code = route_main(
+            ["--case-file", str(case_file), "--svg", str(out), "--quiet"]
+        )
+        assert code == 0
+        assert out.read_text().startswith("<svg")
+
+    def test_eval_report_flag(self, case_file, tmp_path, capsys):
+        out = tmp_path / "sol.txt"
+        route_main(["--case-file", str(case_file), "-o", str(out), "--quiet"])
+        code = eval_main([str(case_file), str(out), "--report"])
+        assert code == 0
+        assert "Edge utilization" in capsys.readouterr().out
+
+
+class TestVersionFlags:
+    @pytest.mark.parametrize(
+        "entry",
+        [route_main, eval_main, gen_main],
+    )
+    def test_version_exits_zero(self, entry, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            entry(["--version"])
+        assert excinfo.value.code == 0
+        assert "1.0.0" in capsys.readouterr().out
+
+
+class TestReproEval:
+    def test_eval_round_trip(self, case_file, tmp_path, capsys):
+        out = tmp_path / "sol.txt"
+        assert route_main(["--case-file", str(case_file), "-o", str(out), "--quiet"]) == 0
+        code = eval_main([str(case_file), str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "DRC clean" in printed
+        assert "critical delay" in printed
+
+    def test_eval_flags_incomplete_solution(self, case_file, tmp_path, capsys):
+        sol = tmp_path / "partial.txt"
+        sol.write_text("# empty solution\n")
+        code = eval_main([str(case_file), str(sol)])
+        assert code == 1
+        printed = capsys.readouterr().out
+        assert "unrouted" in printed

@@ -1,0 +1,87 @@
+"""Tests for the comparison harness."""
+
+import math
+
+import pytest
+
+from repro import SynergisticRouter
+from repro.analysis import run_comparison
+from repro.analysis.compare import Cell, ComparisonTable
+from repro.baselines import ContestWinner2Router
+from tests.conftest import build_two_fpga_system, random_netlist
+
+
+@pytest.fixture
+def two_cases():
+    system = build_two_fpga_system(sll_capacity=150)
+    return {
+        "small": (system, random_netlist(system, 20, seed=1)),
+        "larger": (system, random_netlist(system, 60, seed=2)),
+    }
+
+
+class TestRunComparison:
+    def test_default_router_set(self, two_cases):
+        table = run_comparison(two_cases)
+        assert "ours" in table.routers()
+        assert "winner1" in table.routers()
+        assert len(table.cells) == len(table.routers()) * 2
+
+    def test_reference_normalization_is_one(self, two_cases):
+        table = run_comparison(
+            two_cases,
+            routers={"ours": SynergisticRouter, "w2": ContestWinner2Router},
+        )
+        assert table.normalized_delay("ours") == pytest.approx(1.0)
+        assert table.normalized_runtime("ours") == pytest.approx(1.0)
+
+    def test_ours_reference_beats_or_ties_w2(self, two_cases):
+        table = run_comparison(
+            two_cases,
+            routers={"ours": SynergisticRouter, "w2": ContestWinner2Router},
+        )
+        norm = table.normalized_delay("w2")
+        assert norm >= 1.0 - 1e-9
+
+    def test_unknown_reference_rejected(self, two_cases):
+        with pytest.raises(ValueError):
+            run_comparison(two_cases, routers={"ours": SynergisticRouter}, reference="x")
+
+    def test_render_contains_all_routers(self, two_cases):
+        table = run_comparison(
+            two_cases,
+            routers={"ours": SynergisticRouter, "w2": ContestWinner2Router},
+        )
+        text = "\n".join(table.render())
+        assert "ours" in text and "w2" in text
+        assert "Delay" in text and "Time(s)" in text
+
+
+class TestComparisonTable:
+    def make_table(self):
+        table = ComparisonTable(case_names=["a", "b"])
+        table.cells[("ours", "a")] = Cell(10.0, 0, 1.0)
+        table.cells[("ours", "b")] = Cell(20.0, 0, 2.0)
+        table.cells[("rival", "a")] = Cell(20.0, 0, 2.0)
+        table.cells[("rival", "b")] = Cell(20.0, 5, 1.0)  # illegal
+        return table
+
+    def test_normalization_skips_illegal_cases(self):
+        table = self.make_table()
+        # Only case "a" is mutually legal: ratio 2.0.
+        assert table.normalized_delay("rival") == pytest.approx(2.0)
+
+    def test_failures_listed(self):
+        table = self.make_table()
+        assert table.failures("rival") == ["b"]
+        assert table.failures("ours") == []
+
+    def test_render_marks_fail(self):
+        text = "\n".join(self.make_table().render())
+        assert "FAIL" in text
+
+    def test_empty_normalization_is_nan(self):
+        table = ComparisonTable(case_names=["a"])
+        table.cells[("ours", "a")] = Cell(10.0, 0, 1.0)
+        table.cells[("rival", "a")] = Cell(10.0, 1, 1.0)
+        assert math.isnan(table.normalized_delay("rival"))

@@ -1,0 +1,83 @@
+"""Validation tests for RouterConfig and result dataclasses."""
+
+import pytest
+
+from repro import RouterConfig
+from repro.core.lagrangian import LrHistory, LrIteration
+from repro.core.router import PhaseTimes
+
+
+class TestRouterConfig:
+    def test_defaults_valid(self):
+        config = RouterConfig()
+        assert config.mu_shared == 0.5
+        assert config.weight_mode == "auto"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mu_shared": 0.0},
+            {"mu_shared": 1.5},
+            {"max_reroute_iterations": -1},
+            {"history_increment": -0.1},
+            {"present_penalty": -1.0},
+            {"ripup_factor": 0.0},
+            {"weight_mode": "bogus"},
+            {"timing_reroute_rounds": -1},
+            {"lr_max_iterations": 0},
+            {"lr_epsilon": 0.0},
+            {"refine_margin_epsilon": -1e-9},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RouterConfig(**kwargs)
+
+    def test_mu_one_allowed(self):
+        assert RouterConfig(mu_shared=1.0).mu_shared == 1.0
+
+    def test_infinite_ripup_allowed(self):
+        assert RouterConfig(ripup_factor=float("inf")).ripup_factor == float("inf")
+
+
+class TestPhaseTimes:
+    def test_total(self):
+        times = PhaseTimes(1.0, 2.0, 3.0)
+        assert times.total == pytest.approx(6.0)
+
+    def test_fractions_sum_to_one(self):
+        times = PhaseTimes(1.0, 2.0, 1.0)
+        fractions = times.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["TA"] == pytest.approx(0.5)
+
+    def test_empty_fractions(self):
+        fractions = PhaseTimes().fractions()
+        assert all(value == 0.0 for value in fractions.values())
+
+
+class TestLrHistory:
+    def make(self, delays):
+        history = LrHistory()
+        for i, delay in enumerate(delays):
+            history.iterations.append(
+                LrIteration(
+                    iteration=i,
+                    critical_delay=delay,
+                    lower_bound=delay * 0.9,
+                    gap=0.1,
+                    acceleration=1.0,
+                )
+            )
+        return history
+
+    def test_best_delay(self):
+        assert self.make([5.0, 3.0, 4.0]).best_delay == 3.0
+
+    def test_final_gap(self):
+        assert self.make([5.0]).final_gap == 0.1
+        assert LrHistory().final_gap == float("inf")
+
+    def test_num_iterations(self):
+        assert self.make([1.0, 2.0]).num_iterations == 2
+        assert LrHistory().best_delay == 0.0

@@ -1,0 +1,94 @@
+"""Unit tests for the routing cost model (Eq. 2 and µ)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RouterConfig
+from repro.core.cost import EdgeCostModel
+from repro.route.graph import RoutingGraph
+from repro.timing.delay import DelayModel
+from tests.conftest import build_two_fpga_system
+
+
+@pytest.fixture
+def model():
+    system = build_two_fpga_system(sll_capacity=10, tdm_capacity=20)
+    graph = RoutingGraph(system)
+    config = RouterConfig()
+    weights = np.ones(graph.num_edges)
+    return graph, EdgeCostModel(graph, DelayModel(), config, weights), config
+
+
+def tdm_index(graph):
+    return int(graph.tdm_edge_indices[0])
+
+
+def sll_index(graph):
+    return int(graph.sll_edge_indices[0])
+
+
+class TestTdmCost:
+    def test_eq2_value(self, model):
+        graph, cost_model, _ = model
+        edge = tdm_index(graph)
+        # cost = mu * (d0 + p + demand/cap) with mu=1.
+        expected = 2.0 + 8 + 5 / 20
+        assert cost_model.cost(edge, demand=5, used_by_net=False) == pytest.approx(expected)
+
+    def test_cost_rises_with_demand(self, model):
+        graph, cost_model, _ = model
+        edge = tdm_index(graph)
+        low = cost_model.cost(edge, 1, False)
+        high = cost_model.cost(edge, 19, False)
+        assert high > low
+
+    def test_mu_discount(self, model):
+        graph, cost_model, config = model
+        edge = tdm_index(graph)
+        full = cost_model.cost(edge, 5, False)
+        shared = cost_model.cost(edge, 5, True)
+        assert shared == pytest.approx(config.mu_shared * full)
+
+
+class TestSllCost:
+    def test_base_weight(self, model):
+        graph, cost_model, _ = model
+        edge = sll_index(graph)
+        assert cost_model.cost(edge, 0, False) == pytest.approx(1.0)
+
+    def test_present_penalty_on_overuse(self, model):
+        graph, cost_model, config = model
+        edge = sll_index(graph)
+        # demand == capacity: routing one more would overflow by 1.
+        at_cap = cost_model.cost(edge, 10, False)
+        below = cost_model.cost(edge, 9, False)
+        assert at_cap == pytest.approx(below * (1 + config.present_penalty))
+
+    def test_history_scales_with_base_weight(self, model):
+        graph, cost_model, config = model
+        edge = sll_index(graph)
+        before = cost_model.cost(edge, 0, False)
+        cost_model.add_history([edge])
+        after = cost_model.cost(edge, 0, False)
+        assert after - before == pytest.approx(
+            config.history_increment * cost_model.base_weights[edge]
+        )
+
+    def test_mu_discount_applies(self, model):
+        graph, cost_model, config = model
+        edge = sll_index(graph)
+        assert cost_model.cost(edge, 0, True) == pytest.approx(config.mu_shared)
+
+
+class TestValidation:
+    def test_weight_length_checked(self):
+        system = build_two_fpga_system()
+        graph = RoutingGraph(system)
+        with pytest.raises(ValueError):
+            EdgeCostModel(graph, DelayModel(), RouterConfig(), [1.0])
+
+    def test_history_array_copies(self, model):
+        graph, cost_model, _ = model
+        history = cost_model.history_array()
+        history[0] = 99
+        assert cost_model.history[0] == 0.0

@@ -1,0 +1,98 @@
+"""Cross-module property tests tying the validators together.
+
+Random instances flow through the router and then through *every*
+independent validator this repository has: the DRC, the timing
+re-evaluation, the cycle-level simulator, the certified lower bounds and
+(where tractable) the exact solver.  Disagreement anywhere is a bug in
+one of them — these properties keep the checkers honest against each
+other.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import DelayModel, Net, Netlist, SynergisticRouter, SystemBuilder
+from repro.analysis import (
+    ExactSolver,
+    InstanceTooLarge,
+    certified_lower_bound,
+)
+from repro.emulation import TdmTransmissionSimulator
+
+
+@st.composite
+def tiny_case(draw):
+    tdm_capacity = draw(st.integers(min_value=2, max_value=8))
+    sll_capacity = draw(st.integers(min_value=2, max_value=60))
+    seed = draw(st.integers(min_value=0, max_value=5000))
+    num_nets = draw(st.integers(min_value=1, max_value=10))
+    builder = SystemBuilder()
+    a = builder.add_fpga(num_dies=2, sll_capacity=sll_capacity)
+    b = builder.add_fpga(num_dies=2, sll_capacity=sll_capacity)
+    builder.add_tdm_edge(a.die(1), b.die(0), tdm_capacity)
+    system = builder.build()
+    rng = random.Random(seed)
+    nets = []
+    for i in range(num_nets):
+        src = rng.randrange(4)
+        dst = rng.randrange(4)
+        if dst == src:
+            dst = (dst + 1) % 4
+        nets.append(Net(f"n{i}", src, (dst,)))
+    return system, Netlist(nets)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=tiny_case())
+def test_bound_router_exact_sandwich(case):
+    """certified LB <= exact optimum <= router's result (when legal)."""
+    system, netlist = case
+    result = SynergisticRouter(system, netlist).route()
+    bound = certified_lower_bound(system, netlist)
+    if result.conflict_count == 0:
+        assert bound.value <= result.critical_delay + 1e-9
+    try:
+        exact = ExactSolver(system, netlist).solve()
+    except InstanceTooLarge:
+        return
+    if exact.optimal_delay != float("inf"):
+        assert bound.value <= exact.optimal_delay + 1e-9
+        if result.conflict_count == 0:
+            assert result.critical_delay >= exact.optimal_delay - 1e-9
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=tiny_case())
+def test_simulator_agrees_with_model_on_router_output(case):
+    """The cycle-level mechanism never contradicts the abstract model."""
+    system, netlist = case
+    result = SynergisticRouter(system, netlist).route()
+    if result.conflict_count:
+        return
+    simulator = TdmTransmissionSimulator(result.solution)
+    assert simulator.validate_model() == []
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=tiny_case())
+def test_solution_survives_both_serializations(case):
+    """Route -> (text and JSON) -> parse -> identical DRC verdict."""
+    from repro import DesignRuleChecker
+    from repro.io import (
+        parse_solution,
+        solution_from_dict,
+        solution_to_dict,
+        write_solution,
+    )
+
+    system, netlist = case
+    result = SynergisticRouter(system, netlist).route()
+    model = DelayModel()
+    checker = DesignRuleChecker(system, netlist, model)
+    original = checker.check(result.solution).is_clean
+    via_text = parse_solution(write_solution(result.solution), system, netlist)
+    via_json = solution_from_dict(solution_to_dict(result.solution), system, netlist)
+    assert checker.check(via_text).is_clean == original
+    assert checker.check(via_json).is_clean == original

@@ -1,0 +1,86 @@
+"""Unit and property tests for the delay model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.timing import DelayModel
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        model = DelayModel()
+        assert model.tdm_step == 8
+
+    def test_negative_delays_rejected(self):
+        with pytest.raises(ValueError):
+            DelayModel(d_sll=-1)
+        with pytest.raises(ValueError):
+            DelayModel(d0=-0.1)
+
+    def test_d1_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DelayModel(d1=0)
+
+    def test_step_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DelayModel(tdm_step=0)
+
+
+class TestDelays:
+    def test_tdm_delay_linear_in_ratio(self):
+        model = DelayModel(d0=2.0, d1=0.5)
+        assert model.tdm_delay(8) == pytest.approx(6.0)
+        assert model.tdm_delay(16) == pytest.approx(10.0)
+
+    def test_min_tdm_delay(self):
+        model = DelayModel(d0=2.0, d1=0.5, tdm_step=8)
+        assert model.min_tdm_delay == pytest.approx(6.0)
+
+    def test_case1_calibration(self):
+        """1 SLL + 1 min-ratio TDM = 6.5 (contest Case #1 optimum)."""
+        model = DelayModel()
+        assert model.sll_delay() + model.tdm_delay(model.tdm_step) == pytest.approx(6.5)
+
+
+class TestLegalizeRatio:
+    def test_rounds_up(self):
+        model = DelayModel(tdm_step=8)
+        assert model.legalize_ratio(1) == 8
+        assert model.legalize_ratio(8) == 8
+        assert model.legalize_ratio(8.001) == 16
+        assert model.legalize_ratio(9) == 16
+
+    def test_non_positive_goes_to_step(self):
+        model = DelayModel(tdm_step=8)
+        assert model.legalize_ratio(0) == 8
+        assert model.legalize_ratio(-5) == 8
+
+    def test_exact_multiple_stays(self):
+        model = DelayModel(tdm_step=4)
+        assert model.legalize_ratio(12.0) == 12
+
+    @given(
+        ratio=st.floats(min_value=0.001, max_value=1e6, allow_nan=False),
+        step=st.integers(min_value=1, max_value=64),
+    )
+    def test_legalized_is_legal_and_not_smaller(self, ratio, step):
+        model = DelayModel(tdm_step=step)
+        legal = model.legalize_ratio(ratio)
+        assert model.is_legal_ratio(legal)
+        assert legal >= ratio - 1e-6
+        # Minimality: one step lower is below the ratio (or non-positive).
+        assert legal - step < ratio + 1e-6 or legal == step
+
+
+class TestIsLegalRatio:
+    def test_multiples_accepted(self):
+        model = DelayModel(tdm_step=8)
+        assert model.is_legal_ratio(8)
+        assert model.is_legal_ratio(64)
+
+    def test_non_multiples_rejected(self):
+        model = DelayModel(tdm_step=8)
+        assert not model.is_legal_ratio(12)
+        assert not model.is_legal_ratio(8.5)
+        assert not model.is_legal_ratio(0)
+        assert not model.is_legal_ratio(-8)

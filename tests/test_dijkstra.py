@@ -1,0 +1,128 @@
+"""Unit and property tests for the shortest-path engines."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.route.dijkstra import (
+    dijkstra_all,
+    dijkstra_path,
+    extract_path,
+    shortest_path_dies,
+)
+
+
+def line_adjacency(n):
+    """A line graph 0-1-...-n-1 with edge index = smaller endpoint."""
+    adjacency = [[] for _ in range(n)]
+    for i in range(n - 1):
+        adjacency[i].append((i, i + 1))
+        adjacency[i + 1].append((i, i))
+    return adjacency
+
+
+def random_graph(num_nodes, num_edges, seed):
+    rng = random.Random(seed)
+    edges = set()
+    # Spanning chain for connectivity, then random extras.
+    for i in range(num_nodes - 1):
+        edges.add((i, i + 1))
+    while len(edges) < min(num_edges, num_nodes * (num_nodes - 1) // 2):
+        a, b = rng.sample(range(num_nodes), 2)
+        edges.add((min(a, b), max(a, b)))
+    adjacency = [[] for _ in range(num_nodes)]
+    weights = {}
+    for index, (a, b) in enumerate(sorted(edges)):
+        adjacency[a].append((index, b))
+        adjacency[b].append((index, a))
+        weights[index] = rng.uniform(0.1, 10.0)
+    return adjacency, weights, sorted(edges)
+
+
+class TestDijkstraPath:
+    def test_trivial_same_node(self):
+        assert dijkstra_path(line_adjacency(3), 1, 1, lambda e, a, b: 1.0) == [1]
+
+    def test_line_path(self):
+        path = dijkstra_path(line_adjacency(5), 0, 4, lambda e, a, b: 1.0)
+        assert path == [0, 1, 2, 3, 4]
+
+    def test_unreachable_returns_none(self):
+        adjacency = [[], []]
+        assert dijkstra_path(adjacency, 0, 1, lambda e, a, b: 1.0) is None
+
+    def test_respects_costs(self):
+        # Triangle 0-1 (10), 0-2 (1), 2-1 (1): cheap route goes via 2.
+        adjacency = [[(0, 1), (1, 2)], [(0, 0), (2, 2)], [(1, 0), (2, 1)]]
+        costs = {0: 10.0, 1: 1.0, 2: 1.0}
+        path = dijkstra_path(adjacency, 0, 1, lambda e, a, b: costs[e])
+        assert path == [0, 2, 1]
+
+    def test_directional_costs(self):
+        # Asymmetric cost: going 0->1 is expensive, 1->0 cheap.
+        adjacency = [[(0, 1)], [(0, 0)]]
+
+        def cost(edge, frm, to):
+            return 100.0 if frm == 0 else 1.0
+
+        path = dijkstra_path(adjacency, 0, 1, cost)
+        assert path == [0, 1]  # only one route, still found
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_distances_match(self, seed):
+        adjacency, weights, edges = random_graph(12, 26, seed)
+        graph = nx.Graph()
+        for index, (a, b) in enumerate(edges):
+            graph.add_edge(a, b, weight=weights[index])
+        dist, _ = dijkstra_all(adjacency, 0, lambda e, a, b: weights[e])
+        expected = nx.single_source_dijkstra_path_length(graph, 0)
+        for node, value in expected.items():
+            assert dist[node] == pytest.approx(value)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_path_cost_is_optimal(self, seed):
+        adjacency, weights, edges = random_graph(10, 20, seed)
+        graph = nx.Graph()
+        for index, (a, b) in enumerate(edges):
+            graph.add_edge(a, b, weight=weights[index])
+        path = dijkstra_path(adjacency, 0, 9, lambda e, a, b: weights[e])
+        cost = sum(
+            weights[next(e for e, o in adjacency[u] if o == v)]
+            for u, v in zip(path, path[1:])
+        )
+        assert cost == pytest.approx(nx.dijkstra_path_length(graph, 0, 9))
+
+
+class TestExtractPath:
+    def test_reconstruction(self):
+        adjacency = line_adjacency(4)
+        _, prev = dijkstra_all(adjacency, 0, lambda e, a, b: 1.0)
+        assert extract_path(prev, 0, 3) == [0, 1, 2, 3]
+
+    def test_unreachable_raises(self):
+        with pytest.raises(ValueError):
+            extract_path([-1, -1], 0, 1)
+
+
+class TestShortestPathDies:
+    def test_default_hop_count(self):
+        path = shortest_path_dies(line_adjacency(4), 0, 3)
+        assert path == [0, 1, 2, 3]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=14), st.integers(min_value=0, max_value=10_000))
+def test_property_path_is_simple_and_connected(n, seed):
+    adjacency, weights, _ = random_graph(n, 3 * n, seed)
+    rng = random.Random(seed)
+    src, dst = rng.randrange(n), rng.randrange(n)
+    path = dijkstra_path(adjacency, src, dst, lambda e, a, b: weights[e])
+    assert path is not None
+    assert path[0] == src and path[-1] == dst
+    assert len(set(path)) == len(path)
+    for u, v in zip(path, path[1:]):
+        assert any(other == v for _, other in adjacency[u])

@@ -1,0 +1,56 @@
+"""Documentation contract: every public item carries a docstring.
+
+Deliverable-level check — the public API must be documented.  Private
+names (leading underscore), re-exports and test helpers are exempt.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.rsplit(".", 1)[-1].startswith("_")
+]
+
+
+def public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.getmodule(obj) is not module:
+            continue  # re-exported from elsewhere
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in public_members(module):
+        if not inspect.getdoc(obj):
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for method_name, method in vars(obj).items():
+                if method_name.startswith("_"):
+                    continue
+                if inspect.isfunction(method) and not inspect.getdoc(method):
+                    undocumented.append(f"{name}.{method_name}")
+    assert not undocumented, f"{module_name}: undocumented public items {undocumented}"
+
+
+def test_every_package_is_importable():
+    for module_name in MODULES:
+        importlib.import_module(module_name)

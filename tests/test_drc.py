@@ -1,0 +1,184 @@
+"""Unit tests for the design-rule checker: one constructed violation per rule."""
+
+import pytest
+
+from repro import DelayModel, DesignRuleChecker, Net, Netlist
+from repro.arch.edges import TdmWire
+from repro.drc import ViolationKind
+from repro.route.solution import RoutingSolution
+from tests.conftest import build_two_fpga_system
+
+
+@pytest.fixture
+def case():
+    system = build_two_fpga_system(sll_capacity=4, tdm_capacity=4)
+    netlist = Netlist(
+        [
+            Net("a", 0, (4,)),   # conn 0: crosses the TDM edge (3,4)
+            Net("b", 0, (1,)),   # conn 1
+            Net("c", 0, (1,)),   # conn 2
+        ]
+    )
+    return system, netlist, DelayModel()
+
+
+def route_all(system, netlist):
+    solution = RoutingSolution(system, netlist)
+    solution.set_path(0, [0, 1, 2, 3, 4])
+    solution.set_path(1, [0, 1])
+    solution.set_path(2, [0, 1])
+    return solution
+
+
+def wire_up(system, solution, net_index=0, ratio=8, direction=0):
+    tdm = system.edge_between(3, 4).index
+    wire = TdmWire(edge_index=tdm, direction=direction, ratio=ratio)
+    wire.add_net(net_index)
+    solution.wires[tdm] = [wire]
+    solution.net_wire[(net_index, tdm, direction)] = 0
+    solution.ratios[(net_index, tdm, direction)] = float(ratio)
+    return tdm
+
+
+class TestCleanSolution:
+    def test_passes(self, case):
+        system, netlist, model = case
+        solution = route_all(system, netlist)
+        wire_up(system, solution)
+        report = DesignRuleChecker(system, netlist, model).check(solution)
+        assert report.is_clean
+        assert report.summary() == "DRC clean"
+
+
+class TestConnectivity:
+    def test_unrouted_connection(self, case):
+        system, netlist, model = case
+        solution = route_all(system, netlist)
+        wire_up(system, solution)
+        solution.clear_path(1)
+        report = DesignRuleChecker(system, netlist, model).check(solution)
+        assert report.count(ViolationKind.CONNECTIVITY) == 1
+
+    def test_net_tree_check_accepts_genuine_tree(self):
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("a", 0, (2, 4))])
+        solution = RoutingSolution(system, netlist)
+        # Tree union: both sinks reached via disjoint branches from die 0.
+        solution.set_path(0, [0, 1, 2])
+        solution.set_path(1, [0, 7, 6, 5, 4])
+        report = DesignRuleChecker(system, netlist, DelayModel()).check(
+            solution, check_wires=False, check_net_trees=True
+        )
+        assert report.count(ViolationKind.CONNECTIVITY) == 0
+
+    def test_net_union_loop_detected_only_when_enabled(self):
+        # Three sinks routed so the union closes the cycle
+        # 0-1-2-3-4-5-6-7-0 (each individual path is still loop-free).
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("a", 0, (2, 3, 4))])
+        solution = RoutingSolution(system, netlist)
+        solution.set_path(0, [0, 1, 2])
+        solution.set_path(1, [0, 7, 6, 5, 4, 3])
+        solution.set_path(2, [0, 1, 2, 3, 4])
+        model = DelayModel()
+        strict = DesignRuleChecker(system, netlist, model).check(
+            solution, check_wires=False, check_net_trees=True
+        )
+        assert strict.count(ViolationKind.CONNECTIVITY) == 1
+        default = DesignRuleChecker(system, netlist, model).check(
+            solution, check_wires=False
+        )
+        assert default.count(ViolationKind.CONNECTIVITY) == 0
+
+
+class TestSllCapacity:
+    def test_overflow_detected(self):
+        system = build_two_fpga_system(sll_capacity=1)
+        netlist = Netlist([Net("a", 0, (1,)), Net("b", 0, (1,))])
+        solution = RoutingSolution(system, netlist)
+        solution.set_path(0, [0, 1])
+        solution.set_path(1, [0, 1])
+        report = DesignRuleChecker(system, netlist, DelayModel()).check(
+            solution, check_wires=False
+        )
+        assert report.count(ViolationKind.SLL_CAPACITY) == 1
+
+
+class TestTdmRules:
+    def test_illegal_wire_ratio(self, case):
+        system, netlist, model = case
+        solution = route_all(system, netlist)
+        wire_up(system, solution, ratio=12)  # not a multiple of 8
+        report = DesignRuleChecker(system, netlist, model).check(solution)
+        assert report.count(ViolationKind.TDM_WIRE_RATIO) >= 1
+
+    def test_wire_demand_exceeds_ratio(self, case):
+        system, netlist, model = case
+        solution = route_all(system, netlist)
+        tdm = wire_up(system, solution, ratio=8)
+        wire = solution.wires[tdm][0]
+        # Fabricate 9 nets on one ratio-8 wire.
+        for fake in range(1, 9):
+            wire.add_net(fake)
+        report = DesignRuleChecker(system, netlist, model).check(solution)
+        assert report.count(ViolationKind.TDM_WIRE_RATIO) >= 1
+
+    def test_net_ratio_mismatch(self, case):
+        system, netlist, model = case
+        solution = route_all(system, netlist)
+        tdm = wire_up(system, solution, ratio=8)
+        solution.ratios[(0, tdm, 0)] = 16.0  # differs from the wire
+        report = DesignRuleChecker(system, netlist, model).check(solution)
+        assert report.count(ViolationKind.TDM_WIRE_RATIO) >= 1
+
+    def test_capacity_exceeded(self, case):
+        system, netlist, model = case
+        solution = route_all(system, netlist)
+        tdm = wire_up(system, solution)
+        extra = [TdmWire(edge_index=tdm, direction=0, ratio=8) for _ in range(5)]
+        solution.wires[tdm].extend(extra)
+        report = DesignRuleChecker(system, netlist, model).check(solution)
+        assert report.count(ViolationKind.TDM_CAPACITY) == 1
+
+    def test_missing_wire_assignment(self, case):
+        system, netlist, model = case
+        solution = route_all(system, netlist)
+        # Ratios present but no wires at all for the crossing net.
+        tdm = system.edge_between(3, 4).index
+        solution.ratios[(0, tdm, 0)] = 8.0
+        report = DesignRuleChecker(system, netlist, model).check(solution)
+        assert report.count(ViolationKind.TDM_ASSIGNMENT) >= 1
+
+    def test_wrong_direction_flagged(self, case):
+        system, netlist, model = case
+        solution = route_all(system, netlist)
+        # The net crosses 3->4 (direction 0) but sits on a direction-1 wire.
+        wire_up(system, solution, direction=1)
+        report = DesignRuleChecker(system, netlist, model).check(solution)
+        assert report.count(ViolationKind.TDM_DIRECTION) >= 1
+        assert report.count(ViolationKind.TDM_ASSIGNMENT) >= 1
+
+    def test_duplicate_assignment_flagged(self, case):
+        system, netlist, model = case
+        solution = route_all(system, netlist)
+        tdm = wire_up(system, solution)
+        second = TdmWire(edge_index=tdm, direction=0, ratio=8)
+        second.add_net(0)
+        solution.wires[tdm].append(second)
+        report = DesignRuleChecker(system, netlist, model).check(solution)
+        assert report.count(ViolationKind.TDM_ASSIGNMENT) >= 1
+
+
+class TestReport:
+    def test_by_kind_and_summary(self):
+        system = build_two_fpga_system(sll_capacity=1)
+        netlist = Netlist([Net("a", 0, (1,)), Net("b", 0, (1,))])
+        solution = RoutingSolution(system, netlist)
+        solution.set_path(0, [0, 1])
+        solution.set_path(1, [0, 1])
+        report = DesignRuleChecker(system, netlist, DelayModel()).check(
+            solution, check_wires=False
+        )
+        assert report.by_kind() == {ViolationKind.SLL_CAPACITY: 1}
+        assert "sll_capacity=1" in report.summary()
+        assert str(report.violations[0]).startswith("[sll_capacity]")

@@ -1,0 +1,128 @@
+"""Tests for incremental (ECO) rerouting."""
+
+import pytest
+
+from repro import (
+    DelayModel,
+    DesignRuleChecker,
+    Net,
+    Netlist,
+    SynergisticRouter,
+)
+from repro.core.eco import EcoRouter
+from tests.conftest import build_two_fpga_system, random_netlist
+
+
+@pytest.fixture
+def base_case():
+    system = build_two_fpga_system(sll_capacity=150, tdm_capacity=16)
+    netlist = random_netlist(system, 50, seed=21)
+    result = SynergisticRouter(system, netlist).route()
+    return system, netlist, result
+
+
+class TestRerouteNets:
+    def test_result_is_legal(self, base_case):
+        system, netlist, result = base_case
+        eco = EcoRouter(system)
+        outcome = eco.reroute_nets(result.solution, [0, 1, 2])
+        report = DesignRuleChecker(system, netlist, DelayModel()).check(
+            outcome.solution
+        )
+        assert report.is_clean
+        assert outcome.conflict_count == 0
+
+    def test_untouched_nets_keep_paths(self, base_case):
+        system, netlist, result = base_case
+        eco = EcoRouter(system)
+        outcome = eco.reroute_nets(result.solution, [0])
+        for conn in netlist.connections:
+            if conn.net_index == 0 or conn.net_index in outcome.disturbed_nets:
+                continue
+            assert outcome.solution.path(conn.index) == result.solution.path(
+                conn.index
+            )
+
+    def test_reroute_counts(self, base_case):
+        system, netlist, result = base_case
+        eco = EcoRouter(system)
+        outcome = eco.reroute_nets(result.solution, [3])
+        expected = len(netlist.connections_of(3))
+        assert outcome.rerouted_connections >= expected
+
+    def test_unknown_net_rejected(self, base_case):
+        system, netlist, result = base_case
+        with pytest.raises(ValueError):
+            EcoRouter(system).reroute_nets(result.solution, [9999])
+
+    def test_empty_set_is_noop_topologically(self, base_case):
+        system, netlist, result = base_case
+        outcome = EcoRouter(system).reroute_nets(result.solution, [])
+        for conn in netlist.connections:
+            assert outcome.solution.path(conn.index) == result.solution.path(
+                conn.index
+            )
+
+
+class TestMigrate:
+    def test_identical_netlist_preserves_everything(self, base_case):
+        system, netlist, result = base_case
+        clone = Netlist(
+            [Net(n.name, n.source_die, n.sink_dies) for n in netlist.nets]
+        )
+        outcome = EcoRouter(system).migrate(result.solution, clone)
+        assert outcome.preserved_connections == netlist.num_connections
+        assert outcome.rerouted_connections == 0
+        assert outcome.conflict_count == 0
+
+    def test_added_net_is_routed(self, base_case):
+        system, netlist, result = base_case
+        nets = [Net(n.name, n.source_die, n.sink_dies) for n in netlist.nets]
+        nets.append(Net("brand_new", 0, (7,)))
+        new_netlist = Netlist(nets)
+        outcome = EcoRouter(system).migrate(result.solution, new_netlist)
+        new_net = new_netlist.net_by_name("brand_new")
+        for conn in new_netlist.connections_of(new_net.index):
+            assert outcome.solution.path(conn.index) is not None
+        assert outcome.rerouted_connections >= 1
+
+    def test_modified_net_is_rerouted(self, base_case):
+        system, netlist, result = base_case
+        nets = []
+        for n in netlist.nets:
+            if n.index == 0:
+                # Move net 0's sink somewhere else.
+                new_sink = (n.sink_dies[0] + 1) % system.num_dies
+                if new_sink == n.source_die:
+                    new_sink = (new_sink + 1) % system.num_dies
+                nets.append(Net(n.name, n.source_die, (new_sink,)))
+            else:
+                nets.append(Net(n.name, n.source_die, n.sink_dies))
+        new_netlist = Netlist(nets)
+        outcome = EcoRouter(system).migrate(result.solution, new_netlist)
+        assert outcome.conflict_count == 0
+        report = DesignRuleChecker(system, new_netlist, DelayModel()).check(
+            outcome.solution
+        )
+        assert report.is_clean
+
+    def test_removed_net_disappears(self, base_case):
+        system, netlist, result = base_case
+        nets = [
+            Net(n.name, n.source_die, n.sink_dies)
+            for n in netlist.nets
+            if n.index != 1
+        ]
+        new_netlist = Netlist(nets)
+        outcome = EcoRouter(system).migrate(result.solution, new_netlist)
+        assert new_netlist.net_by_name(netlist.net(1).name) is None
+        assert outcome.conflict_count == 0
+
+    def test_migration_keeps_quality_close(self, base_case):
+        """Migrating an unchanged netlist should not blow up the delay."""
+        system, netlist, result = base_case
+        clone = Netlist(
+            [Net(n.name, n.source_die, n.sink_dies) for n in netlist.nets]
+        )
+        outcome = EcoRouter(system).migrate(result.solution, clone)
+        assert outcome.critical_delay <= result.critical_delay * 1.25 + 1e-9

@@ -1,0 +1,102 @@
+"""Optimality tests: the heuristic router vs the exact reference solver."""
+
+import random
+
+import pytest
+
+from repro import DelayModel, Net, Netlist, SynergisticRouter, SystemBuilder
+from repro.analysis import ExactSolver, InstanceTooLarge
+
+
+def tiny_system(tdm_capacity=4, sll_capacity=10):
+    builder = SystemBuilder()
+    a = builder.add_fpga(num_dies=2, sll_capacity=sll_capacity)
+    b = builder.add_fpga(num_dies=2, sll_capacity=sll_capacity)
+    builder.add_tdm_edge(a.die(1), b.die(0), tdm_capacity)
+    return builder.build()
+
+
+class TestExactSolver:
+    def test_single_net_optimum(self):
+        system = tiny_system()
+        netlist = Netlist([Net("n", 0, (3,))])
+        exact = ExactSolver(system, netlist).solve()
+        model = DelayModel()
+        expected = 2 * model.d_sll + model.tdm_delay(model.tdm_step)
+        assert exact.optimal_delay == pytest.approx(expected)
+
+    def test_sll_only_instance(self):
+        system = tiny_system()
+        netlist = Netlist([Net("n", 0, (1,))])
+        exact = ExactSolver(system, netlist).solve()
+        assert exact.optimal_delay == pytest.approx(DelayModel().d_sll)
+
+    def test_capacity_violations_excluded(self):
+        system = tiny_system(sll_capacity=1)
+        # Two nets both needing the single wire on SLL (0,1): no feasible
+        # single-TDM-hop combination exists for both to cross.
+        netlist = Netlist([Net("a", 0, (3,)), Net("b", 0, (3,))])
+        exact = ExactSolver(system, netlist).solve()
+        assert exact.optimal_delay == float("inf")
+
+    def test_instance_budget_enforced(self):
+        # Two parallel TDM edges give every connection multiple paths; 40
+        # nets explode the product past any small budget.
+        builder = SystemBuilder()
+        a = builder.add_fpga(num_dies=2, sll_capacity=100)
+        b = builder.add_fpga(num_dies=2, sll_capacity=100)
+        builder.add_tdm_edge(a.die(1), b.die(0), 4)
+        builder.add_tdm_edge(a.die(0), b.die(1), 4)
+        system = builder.build()
+        netlist = Netlist([Net(f"n{i}", 0, (3,)) for i in range(40)])
+        with pytest.raises(InstanceTooLarge):
+            ExactSolver(system, netlist, max_combinations=10).solve()
+
+    def test_wire_partition_skews_for_critical_net(self):
+        # One net pays 2 extra SLL hops; with 3 wires and 9 nets the exact
+        # optimum gives the long net a lighter wire.
+        system = tiny_system(tdm_capacity=3)
+        nets = [Net("long", 0, (3,))]
+        nets += [Net(f"short{i}", 1, (2,)) for i in range(8)]
+        netlist = Netlist(nets)
+        exact = ExactSolver(system, netlist).solve()
+        model = DelayModel()
+        # All 9 nets one direction, 3 wires: best contiguous partition of
+        # bases [1.0, 0, ...x8] -> long alone (ratio 8), shorts 4+4 (ratio 8).
+        expected = max(
+            2 * model.d_sll + model.tdm_delay(8),
+            model.tdm_delay(8),
+        )
+        assert exact.optimal_delay == pytest.approx(expected)
+
+
+class TestRouterMatchesOptimum:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_router_achieves_exact_optimum_on_tiny_instances(self, seed):
+        rng = random.Random(seed)
+        system = tiny_system(tdm_capacity=rng.choice([2, 3, 4]))
+        nets = []
+        for i in range(rng.randint(1, 6)):
+            source = rng.randrange(4)
+            sink = rng.randrange(4)
+            if sink == source:
+                sink = (sink + 1) % 4
+            nets.append(Net(f"n{i}", source, (sink,)))
+        netlist = Netlist(nets)
+        exact = ExactSolver(system, netlist).solve()
+        result = SynergisticRouter(system, netlist).route()
+        assert result.conflict_count == 0
+        # The heuristic must not beat a true optimum...
+        assert result.critical_delay >= exact.optimal_delay - 1e-9
+        # ...and on these tiny instances it should attain it.
+        assert result.critical_delay == pytest.approx(exact.optimal_delay)
+
+    def test_router_matches_optimum_with_asymmetric_traffic(self):
+        system = tiny_system(tdm_capacity=4)
+        nets = [Net("long", 0, (3,))] + [
+            Net(f"s{i}", 1, (2,)) for i in range(6)
+        ] + [Net("rev", 2, (1,))]
+        netlist = Netlist(nets)
+        exact = ExactSolver(system, netlist).solve()
+        result = SynergisticRouter(system, netlist).route()
+        assert result.critical_delay == pytest.approx(exact.optimal_delay)

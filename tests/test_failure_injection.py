@@ -1,0 +1,141 @@
+"""Failure injection: corrupted inputs and states must fail loudly.
+
+A production tool's worst failure mode is silently producing a wrong
+answer; these tests corrupt solutions, files and arguments and assert the
+library raises or reports — never swallows — the problem.
+"""
+
+import pytest
+
+from repro import (
+    DelayModel,
+    DesignRuleChecker,
+    Net,
+    Netlist,
+    SynergisticRouter,
+)
+from repro.drc import ViolationKind
+from repro.io import parse_case, parse_solution
+from repro.io.contest_format import CaseFormatError
+from repro.io.solution_io import SolutionFormatError
+from repro.timing import TimingAnalyzer
+from tests.conftest import build_two_fpga_system, random_netlist
+
+
+@pytest.fixture
+def routed():
+    system = build_two_fpga_system()
+    netlist = random_netlist(system, 30, seed=50)
+    result = SynergisticRouter(system, netlist).route()
+    return system, netlist, result
+
+
+class TestCorruptedSolutions:
+    def test_deleted_wire_detected(self, routed):
+        system, netlist, result = routed
+        solution = result.solution
+        edge_index = next(iter(solution.wires))
+        solution.wires[edge_index] = solution.wires[edge_index][:-1]
+        report = DesignRuleChecker(system, netlist, DelayModel()).check(solution)
+        assert not report.is_clean
+
+    def test_tampered_ratio_detected(self, routed):
+        system, netlist, result = routed
+        solution = result.solution
+        use = next(iter(solution.ratios))
+        solution.ratios[use] = solution.ratios[use] + 1  # not a step multiple
+        report = DesignRuleChecker(system, netlist, DelayModel()).check(solution)
+        assert report.count(ViolationKind.TDM_WIRE_RATIO) >= 1
+
+    def test_cleared_path_detected(self, routed):
+        system, netlist, result = routed
+        result.solution.clear_path(0)
+        report = DesignRuleChecker(system, netlist, DelayModel()).check(
+            result.solution
+        )
+        assert report.count(ViolationKind.CONNECTIVITY) >= 1
+
+    def test_timing_refuses_missing_ratio(self, routed):
+        system, netlist, result = routed
+        solution = result.solution
+        use = next(iter(solution.ratios))
+        del solution.ratios[use]
+        analyzer = TimingAnalyzer(system, netlist, DelayModel())
+        with pytest.raises(KeyError):
+            analyzer.analyze(solution)
+
+
+class TestCorruptedCaseFiles:
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("GARBAGE\n", "unknown keyword"),
+            ("FPGA f 0\n", "line 1"),
+            ("FPGA f 2\nSLL 0 1 0\n", "line 2"),
+            ("FPGA f 2\nSLL 0 9 4\n", "unknown die|references"),
+            ("FPGA f 2\nFPGA g 2\nSLL 0 2 4\n", "crosses"),
+            ("FPGA f 2\nFPGA g 2\nTDM 0 1 4\n", "same FPGA"),
+            ("PARAM tdm_step -1\nFPGA f 2\nSLL 0 1 4\n", "tdm_step|positive"),
+        ],
+    )
+    def test_malformed_cases_raise(self, text, match):
+        with pytest.raises((CaseFormatError, ValueError)):
+            parse_case(text)
+
+    def test_truncated_solution_line(self):
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("a", 0, (1,))])
+        with pytest.raises(SolutionFormatError):
+            parse_solution("PATH a\n", system, netlist)
+
+    def test_solution_with_loop_rejected(self):
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("a", 0, (1,))])
+        with pytest.raises(SolutionFormatError):
+            parse_solution("PATH a 1 0 1 0 1\n", system, netlist)
+
+
+class TestBadArguments:
+    def test_router_rejects_foreign_netlist(self):
+        system = build_two_fpga_system()
+        foreign = Netlist([Net("a", 0, (99,))])
+        with pytest.raises(ValueError, match="references die"):
+            SynergisticRouter(system, foreign)
+
+    def test_eco_rejects_unknown_nets(self, routed):
+        from repro.core.eco import EcoRouter
+
+        system, netlist, result = routed
+        with pytest.raises(ValueError):
+            EcoRouter(system).reroute_nets(result.solution, [-1])
+
+    def test_set_path_rejects_teleporting(self, routed):
+        system, netlist, result = routed
+        conn = netlist.connections[0]
+        bad = [conn.source_die, conn.sink_die]
+        if system.edge_between(*bad) is None:
+            with pytest.raises(ValueError):
+                result.solution.set_path(0, bad)
+
+    def test_delay_model_is_immutable(self):
+        model = DelayModel()
+        with pytest.raises(AttributeError):
+            model.d_sll = 99.0
+
+
+class TestDrcCrossValidation:
+    def test_independent_reevaluation_matches(self, routed):
+        """The CLI-style check pipeline agrees with the router's numbers."""
+        from repro.io import parse_solution, write_case, write_solution
+
+        system, netlist, result = routed
+        model = DelayModel()
+        case_text = write_case(system, netlist, model)
+        solution_text = write_solution(result.solution)
+        system2, netlist2, model2 = parse_case(case_text)
+        solution2 = parse_solution(solution_text, system2, netlist2)
+        analyzer = TimingAnalyzer(system2, netlist2, model2)
+        assert analyzer.critical_delay(solution2) == pytest.approx(
+            result.critical_delay
+        )
+        assert DesignRuleChecker(system2, netlist2, model2).check(solution2).is_clean

@@ -1,0 +1,86 @@
+"""Tests for the pre-route feasibility analysis."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import Net, Netlist, SynergisticRouter, SystemBuilder
+from repro.analysis import check_feasibility
+from tests.conftest import build_two_fpga_system, random_netlist
+from tests.test_properties import random_case
+
+
+def tdm_less_inner_die_system(sll_capacity=2):
+    """Die 1 has only SLL edges (no TDM attachment)."""
+    builder = SystemBuilder()
+    a = builder.add_fpga(num_dies=3, sll_capacity=sll_capacity)
+    b = builder.add_fpga(num_dies=1)
+    builder.add_tdm_edge(a.die(0), b.die(0), 8)
+    return builder.build()
+
+
+class TestProofs:
+    def test_detects_impossible_die_pressure(self):
+        system = tdm_less_inner_die_system(sll_capacity=2)
+        # Die 1 has ceiling 4 (two cap-2 SLL edges); 5 crossing nets touch it.
+        netlist = Netlist([Net(f"n{i}", 1, (0,)) for i in range(5)])
+        report = check_feasibility(system, netlist)
+        assert report.is_provably_infeasible
+        assert "die 1" in report.infeasible[0]
+
+    def test_proof_is_sound_router_agrees(self):
+        system = tdm_less_inner_die_system(sll_capacity=2)
+        netlist = Netlist([Net(f"n{i}", 1, (0,)) for i in range(5)])
+        result = SynergisticRouter(system, netlist).route()
+        assert result.conflict_count > 0  # indeed unroutable legally
+
+    def test_tdm_attachment_lifts_ceiling(self):
+        system = build_two_fpga_system(sll_capacity=1)
+        # Die 3 has a TDM edge: many crossing nets are not a *proof*.
+        netlist = Netlist([Net(f"n{i}", 3, (4,)) for i in range(50)])
+        report = check_feasibility(system, netlist)
+        assert not report.is_provably_infeasible
+
+
+class TestWarnings:
+    def test_tight_die_warned(self):
+        system = tdm_less_inner_die_system(sll_capacity=2)
+        netlist = Netlist([Net(f"n{i}", 1, (0,)) for i in range(4)])  # 4/4
+        report = check_feasibility(system, netlist, warn_utilization=0.8)
+        assert not report.is_provably_infeasible
+        assert report.warnings
+
+    def test_quiet_on_easy_case(self):
+        system = build_two_fpga_system(sll_capacity=1000)
+        netlist = random_netlist(system, 20, seed=5)
+        report = check_feasibility(system, netlist)
+        assert not report.infeasible
+        assert not report.warnings
+
+
+class TestPressures:
+    def test_counts_distinct_nets(self):
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("multi", 0, (1, 2, 4))])
+        report = check_feasibility(system, netlist)
+        by_die = {p.die: p for p in report.pressures}
+        for die in (0, 1, 2, 4):
+            assert by_die[die].crossing_nets == 1
+        assert by_die[5].crossing_nets == 0
+
+    def test_intra_die_nets_ignored(self):
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("local", 2, (2,))])
+        report = check_feasibility(system, netlist)
+        assert all(p.crossing_nets == 0 for p in report.pressures)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=random_case())
+def test_property_checker_never_flags_routable_cases(case):
+    """Soundness: a case our router solves legally is never 'proven'
+    infeasible."""
+    system, netlist = case
+    result = SynergisticRouter(system, netlist).route()
+    if result.conflict_count == 0:
+        report = check_feasibility(system, netlist)
+        assert not report.is_provably_infeasible

@@ -1,0 +1,43 @@
+"""Tests for the emulation frequency estimator."""
+
+import pytest
+
+from repro.timing import FrequencyEstimator
+
+
+class TestEstimate:
+    def test_basic_division(self):
+        estimator = FrequencyEstimator(tdm_clock_mhz=1000.0)
+        estimate = estimator.estimate(critical_delay=50.0)
+        assert estimate.system_clock_mhz == pytest.approx(20.0)
+        assert estimate.tdm_clock_mhz == 1000.0
+
+    def test_zero_delay_runs_at_tdm_clock(self):
+        estimator = FrequencyEstimator(tdm_clock_mhz=800.0)
+        assert estimator.estimate(0.0).system_clock_mhz == pytest.approx(800.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyEstimator().estimate(-1.0)
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyEstimator(tdm_clock_mhz=0)
+
+
+class TestCompare:
+    def test_labelled_comparison(self):
+        estimator = FrequencyEstimator(1000.0)
+        rows = estimator.compare([("ours", 100.0), ("baseline", 125.0)])
+        assert rows[0][0] == "ours"
+        assert rows[0][1].system_clock_mhz == pytest.approx(10.0)
+        assert rows[1][1].system_clock_mhz == pytest.approx(8.0)
+
+    def test_speedup_matches_paper_framing(self):
+        """A 7.6% smaller critical delay is a 1.082x frequency gain."""
+        estimator = FrequencyEstimator()
+        assert estimator.speedup(1.0, 1.0 - 0.076) == pytest.approx(1.0822, rel=1e-3)
+
+    def test_speedup_validation(self):
+        with pytest.raises(ValueError):
+            FrequencyEstimator().speedup(0.0, 1.0)

@@ -1,0 +1,61 @@
+"""Tests for the standalone HTML report."""
+
+import pytest
+
+from repro.report import render_html, write_html
+
+
+class TestRenderHtml:
+    def test_headline_numbers(self, routed_result, delay_model):
+        html = render_html(routed_result.solution, delay_model)
+        assert f"{routed_result.critical_delay:.2f}" in html
+        assert "legal (no SLL overlaps)" in html
+        assert "<svg" in html  # topology embedded inline
+
+    def test_tables_present(self, routed_result, delay_model):
+        html = render_html(routed_result.solution, delay_model)
+        assert "<table>" in html
+        assert "TDM wire ratios" in html
+        assert "Delay histogram" in html
+
+    def test_custom_title(self, routed_result, delay_model):
+        html = render_html(routed_result.solution, delay_model, title="nightly #42")
+        assert "<title>nightly #42</title>" in html
+
+    def test_conflicts_flagged(self, delay_model):
+        from repro import Net, Netlist
+        from repro.route.solution import RoutingSolution
+        from tests.conftest import build_two_fpga_system
+
+        system = build_two_fpga_system(sll_capacity=1)
+        netlist = Netlist([Net("a", 0, (1,)), Net("b", 0, (1,))])
+        solution = RoutingSolution(system, netlist)
+        solution.set_path(0, [0, 1])
+        solution.set_path(1, [0, 1])
+        html = render_html(solution, delay_model)
+        assert "SLL conflicts" in html
+
+    def test_write_html(self, routed_result, delay_model, tmp_path):
+        path = tmp_path / "report.html"
+        write_html(path, routed_result.solution, delay_model)
+        text = path.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert text.rstrip().endswith("</html>")
+
+    def test_cli_flag(self, tmp_path):
+        from repro.cli.generate import main as gen_main
+        from repro.cli.main import main as route_main
+
+        gen_main(["case01", "--out-dir", str(tmp_path)])
+        out = tmp_path / "report.html"
+        code = route_main(
+            [
+                "--case-file",
+                str(tmp_path / "case01.case"),
+                "--html",
+                str(out),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert out.exists()

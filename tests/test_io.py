@@ -1,0 +1,170 @@
+"""Tests for the case and solution text formats."""
+
+import pytest
+
+from repro import DelayModel, DesignRuleChecker, Net, Netlist, SynergisticRouter
+from repro.io import (
+    parse_case,
+    parse_solution,
+    write_case,
+    write_solution,
+)
+from repro.io.contest_format import CaseFormatError
+from repro.io.solution_io import SolutionFormatError
+from repro.benchgen import load_case
+from tests.conftest import build_two_fpga_system, random_netlist
+
+CASE_TEXT = """
+# demo case
+PARAM d_sll 0.5
+PARAM tdm_step 8
+FPGA left 2
+FPGA right 2
+SLL 0 1 10
+SLL 2 3 10
+TDM 1 2 4
+NET a 0 3
+NET b 2 0 1
+NET c 3 3        # intra-die
+"""
+
+
+class TestParseCase:
+    def test_parses_structure(self):
+        system, netlist, model = parse_case(CASE_TEXT)
+        assert system.num_fpgas == 2
+        assert system.num_dies == 4
+        assert len(system.sll_edges) == 2
+        assert len(system.tdm_edges) == 1
+        assert netlist.num_nets == 3
+        assert netlist.num_connections == 3
+        assert model.d_sll == 0.5
+
+    def test_comments_and_blanks_ignored(self):
+        system, netlist, _ = parse_case(CASE_TEXT + "\n\n# trailing comment\n")
+        assert netlist.num_nets == 3
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(CaseFormatError, match="unknown keyword"):
+            parse_case("FOO bar\n" + CASE_TEXT)
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(CaseFormatError, match="unknown PARAM"):
+            parse_case("PARAM bogus 1\n" + CASE_TEXT)
+
+    def test_malformed_net_rejected(self):
+        with pytest.raises(CaseFormatError):
+            parse_case("FPGA f 2\nSLL 0 1 5\nNET broken 0\n")
+
+    def test_no_edges_rejected(self):
+        with pytest.raises(CaseFormatError, match="no edges"):
+            parse_case("FPGA f 2\nNET a 0 1\n")
+
+    def test_net_referencing_missing_die_rejected(self):
+        with pytest.raises(ValueError):
+            parse_case("FPGA f 2\nFPGA g 2\nSLL 0 1 4\nSLL 2 3 4\nTDM 1 2 4\nNET a 0 9\n")
+
+    def test_bad_numbers_reported_with_line(self):
+        with pytest.raises(CaseFormatError, match="line 1"):
+            parse_case("SLL zero one 5\n")
+
+
+class TestCaseRoundTrip:
+    def test_round_trip_preserves_structure(self):
+        system = build_two_fpga_system(sll_capacity=7, tdm_capacity=4)
+        netlist = random_netlist(system, 20, seed=99)
+        model = DelayModel(d_sll=0.25, d0=1.5, d1=0.75, tdm_step=4)
+        text = write_case(system, netlist, model)
+        system2, netlist2, model2 = parse_case(text)
+        assert system2.num_dies == system.num_dies
+        assert [e.dies for e in system2.edges] == [e.dies for e in system.edges]
+        assert [e.capacity for e in system2.edges] == [e.capacity for e in system.edges]
+        assert [n.sink_dies for n in netlist2.nets] == [n.sink_dies for n in netlist.nets]
+        assert model2 == model
+
+    def test_generated_case_round_trips(self):
+        case = load_case("case03")
+        model = DelayModel()
+        text = write_case(case.system, case.netlist, model)
+        system2, netlist2, _ = parse_case(text)
+        assert netlist2.num_connections == case.netlist.num_connections
+        assert system2.total_tdm_wires() == case.system.total_tdm_wires()
+
+
+class TestGzipTransparency:
+    def test_case_gz_round_trip(self, tmp_path):
+        from repro.io import parse_case_file, write_case_file
+
+        system = build_two_fpga_system(sll_capacity=7, tdm_capacity=4)
+        netlist = random_netlist(system, 15, seed=13)
+        model = DelayModel()
+        path = tmp_path / "case.case.gz"
+        write_case_file(path, system, netlist, model)
+        # It really is gzip on disk.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        system2, netlist2, model2 = parse_case_file(path)
+        assert netlist2.num_nets == netlist.num_nets
+        assert model2 == model
+
+    def test_solution_gz_round_trip(self, tmp_path):
+        from repro.io import parse_solution_file, write_solution_file
+
+        system = build_two_fpga_system()
+        netlist = random_netlist(system, 15, seed=14)
+        result = SynergisticRouter(system, netlist).route()
+        path = tmp_path / "solution.sol.gz"
+        write_solution_file(path, result.solution)
+        parsed = parse_solution_file(path, system, netlist)
+        assert parsed.ratios == result.solution.ratios
+
+
+class TestSolutionRoundTrip:
+    def test_full_solution_round_trip(self):
+        system = build_two_fpga_system()
+        netlist = random_netlist(system, 25, seed=17)
+        model = DelayModel()
+        result = SynergisticRouter(system, netlist, model).route()
+        text = write_solution(result.solution)
+        parsed = parse_solution(text, system, netlist)
+        # Same paths, ratios and wires; re-check with the DRC.
+        for conn in netlist.connections:
+            assert parsed.path(conn.index) == result.solution.path(conn.index)
+        assert parsed.ratios == result.solution.ratios
+        report = DesignRuleChecker(system, netlist, model).check(parsed)
+        assert report.is_clean
+
+    def test_unknown_net_rejected(self):
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("a", 0, (1,))])
+        with pytest.raises(SolutionFormatError, match="unknown net"):
+            parse_solution("PATH ghost 1 0 1\n", system, netlist)
+
+    def test_wrong_sink_rejected(self):
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("a", 0, (1,))])
+        with pytest.raises(SolutionFormatError, match="no connection"):
+            parse_solution("PATH a 2 0 1 2\n", system, netlist)
+
+    def test_bad_path_rejected(self):
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("a", 0, (1,))])
+        with pytest.raises(SolutionFormatError):
+            parse_solution("PATH a 1 0 5 1\n", system, netlist)
+
+    def test_wire_on_non_tdm_edge_rejected(self):
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("a", 0, (1,))])
+        with pytest.raises(SolutionFormatError, match="no TDM edge"):
+            parse_solution("WIRE 0 1 0 8 a\n", system, netlist)
+
+    def test_bad_direction_rejected(self):
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("a", 0, (4,))])
+        with pytest.raises(SolutionFormatError, match="direction"):
+            parse_solution("WIRE 3 4 2 8 a\n", system, netlist)
+
+    def test_unknown_keyword_rejected(self):
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("a", 0, (1,))])
+        with pytest.raises(SolutionFormatError, match="unknown keyword"):
+            parse_solution("ROUTE a 1 0 1\n", system, netlist)

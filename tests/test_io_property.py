@@ -1,0 +1,93 @@
+"""Property tests: random cases round-trip through both file formats."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import DelayModel, Net, Netlist, SystemBuilder
+from repro.io import (
+    case_from_dict,
+    case_to_dict,
+    parse_case,
+    parse_solution,
+    solution_from_dict,
+    solution_to_dict,
+    write_case,
+    write_solution,
+)
+from repro.core.initial_routing import InitialRouter
+
+
+@st.composite
+def random_io_case(draw):
+    num_fpgas = draw(st.integers(min_value=2, max_value=3))
+    dies_per_fpga = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    num_nets = draw(st.integers(min_value=0, max_value=25))
+    sll_capacity = draw(st.integers(min_value=1, max_value=100))
+    tdm_capacity = draw(st.integers(min_value=2, max_value=50))
+    step = draw(st.sampled_from([1, 2, 4, 8]))
+
+    builder = SystemBuilder()
+    handles = [
+        builder.add_fpga(num_dies=dies_per_fpga, sll_capacity=sll_capacity)
+        for _ in range(num_fpgas)
+    ]
+    rng = random.Random(seed)
+    for i in range(num_fpgas - 1):
+        builder.add_tdm_edge(
+            handles[i].die(rng.randrange(dies_per_fpga)),
+            handles[i + 1].die(rng.randrange(dies_per_fpga)),
+            tdm_capacity,
+        )
+    system = builder.build()
+    nets = []
+    for i in range(num_nets):
+        source = rng.randrange(system.num_dies)
+        fanout = rng.randint(1, min(3, system.num_dies))
+        nets.append(
+            Net(f"n{i}", source, tuple(rng.sample(range(system.num_dies), fanout)))
+        )
+    model = DelayModel(tdm_step=step)
+    return system, Netlist(nets), model
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=random_io_case())
+def test_text_case_round_trip(case):
+    system, netlist, model = case
+    text = write_case(system, netlist, model)
+    system2, netlist2, model2 = parse_case(text)
+    assert model2 == model
+    assert system2.num_dies == system.num_dies
+    assert [e.dies for e in system2.edges] == [e.dies for e in system.edges]
+    assert [e.capacity for e in system2.edges] == [e.capacity for e in system.edges]
+    assert [(n.name, n.source_die, n.sink_dies) for n in netlist2.nets] == [
+        (n.name, n.source_die, n.sink_dies) for n in netlist.nets
+    ]
+    # Idempotence: a second round trip produces identical text.
+    assert write_case(system2, netlist2, model2) == text
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=random_io_case())
+def test_json_case_round_trip(case):
+    system, netlist, model = case
+    data = case_to_dict(system, netlist, model)
+    system2, netlist2, model2 = case_from_dict(data)
+    assert case_to_dict(system2, netlist2, model2) == data
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=random_io_case())
+def test_solution_round_trips_both_formats(case):
+    system, netlist, model = case
+    solution = InitialRouter(system, netlist, model).route()
+    text = write_solution(solution)
+    via_text = parse_solution(text, system, netlist)
+    via_json = solution_from_dict(solution_to_dict(solution), system, netlist)
+    for conn in netlist.connections:
+        assert via_text.path(conn.index) == solution.path(conn.index)
+        assert via_json.path(conn.index) == solution.path(conn.index)
+    # Text serialization is idempotent too.
+    assert write_solution(via_text) == text

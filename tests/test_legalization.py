@@ -1,0 +1,117 @@
+"""Unit and property tests for TDM ratio legalization and Algorithm 2."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DelayModel, Net, Netlist, RouterConfig
+from repro.core.incidence import TdmIncidence
+from repro.core.initial_routing import InitialRouter
+from repro.core.lagrangian import LagrangianTdmAssigner
+from repro.core.legalization import TdmLegalizer
+from tests.conftest import build_two_fpga_system, random_netlist
+
+
+def legalized_case(num_nets=60, tdm_capacity=8, seed=31, config=None):
+    system = build_two_fpga_system(tdm_capacity=tdm_capacity)
+    netlist = random_netlist(system, num_nets, seed=seed)
+    model = DelayModel()
+    config = config or RouterConfig()
+    solution = InitialRouter(system, netlist, model, config).route()
+    inc = TdmIncidence(system, netlist, solution, model)
+    lr = LagrangianTdmAssigner(inc, config).solve()
+    legalizer = TdmLegalizer(inc, config)
+    return system, inc, lr, legalizer.legalize(lr.ratios)
+
+
+class TestLegalRatios:
+    def test_all_ratios_are_step_multiples(self):
+        system, inc, lr, legal = legalized_case()
+        model = inc.delay_model
+        for ratio in legal.ratios:
+            assert model.is_legal_ratio(float(ratio))
+
+    def test_ratios_at_least_one_step(self):
+        system, inc, lr, legal = legalized_case()
+        assert np.all(legal.ratios >= inc.delay_model.tdm_step)
+
+
+class TestWireBudgets:
+    def test_budgets_within_capacity(self):
+        system, inc, lr, legal = legalized_case()
+        per_edge = {}
+        for (edge_index, _), budget in legal.wire_budgets.items():
+            per_edge[edge_index] = per_edge.get(edge_index, 0) + budget
+        for edge_index, total in per_edge.items():
+            assert total <= system.edge(edge_index).capacity
+
+    def test_active_direction_gets_at_least_one_wire(self):
+        system, inc, lr, legal = legalized_case()
+        for (edge_index, direction), budget in legal.wire_budgets.items():
+            assert budget >= 1
+            assert inc.pairs_of_directed_edge(edge_index, direction)
+
+    def test_demand_fits_in_budget(self):
+        """After refinement, sum 1/r still fits the directional budget."""
+        system, inc, lr, legal = legalized_case()
+        for (edge_index, direction), budget in legal.wire_budgets.items():
+            pairs = inc.pairs_of_directed_edge(edge_index, direction)
+            load = float(np.sum(1.0 / legal.ratios[pairs]))
+            assert load <= budget + 1e-9
+
+
+class TestRefinement:
+    def test_refinement_never_goes_below_step(self):
+        system, inc, lr, legal = legalized_case(tdm_capacity=64, num_nets=20)
+        assert np.all(legal.ratios >= inc.delay_model.tdm_step)
+
+    def test_refinement_reduces_or_keeps_ratios(self):
+        """Refined ratios never exceed the plain rounded-up ratios."""
+        system, inc, lr, legal = legalized_case()
+        step = inc.delay_model.tdm_step
+        rounded = np.ceil(lr.ratios / step - 1e-12).astype(np.int64) * step
+        rounded = np.maximum(rounded, step)
+        assert np.all(legal.ratios <= rounded + 1e-9)
+
+    def test_refinement_steps_counted(self):
+        # Generous capacity leaves big margins: refinement must act.
+        system, inc, lr, legal = legalized_case(tdm_capacity=200, num_nets=40)
+        assert legal.refinement_steps >= 0
+        # With huge margins every net should sit at the minimum step.
+        assert np.all(legal.ratios == inc.delay_model.tdm_step)
+
+    def test_empty_incidence(self):
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("a", 0, (1,))])
+        model = DelayModel()
+        solution = InitialRouter(system, netlist, model).route()
+        inc = TdmIncidence(system, netlist, solution, model)
+        legal = TdmLegalizer(inc).legalize(np.zeros(0))
+        assert legal.ratios.size == 0
+        assert legal.wire_budgets == {}
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_nets=st.integers(min_value=2, max_value=80),
+    tdm_capacity=st.integers(min_value=2, max_value=64),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_legalization_invariants(num_nets, tdm_capacity, seed):
+    system, inc, lr, legal = legalized_case(
+        num_nets=num_nets, tdm_capacity=tdm_capacity, seed=seed
+    )
+    if inc.num_pairs == 0:
+        return
+    model = inc.delay_model
+    # Every ratio legal; every directed budget respected; edge totals fit.
+    for ratio in legal.ratios:
+        assert model.is_legal_ratio(float(ratio))
+    per_edge = {}
+    for (edge_index, direction), budget in legal.wire_budgets.items():
+        pairs = inc.pairs_of_directed_edge(edge_index, direction)
+        load = float(np.sum(1.0 / legal.ratios[pairs]))
+        assert load <= budget + 1e-9
+        per_edge[edge_index] = per_edge.get(edge_index, 0) + budget
+    for edge_index, total in per_edge.items():
+        assert total <= system.edge(edge_index).capacity

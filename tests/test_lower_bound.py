@@ -1,0 +1,102 @@
+"""Tests for the certified lower bounds."""
+
+import random
+
+import pytest
+
+from repro import DelayModel, Net, Netlist, SynergisticRouter, SystemBuilder
+from repro.analysis import (
+    ExactSolver,
+    bisection_lower_bound,
+    certified_lower_bound,
+    distance_lower_bound,
+)
+from repro.benchgen import load_case
+from tests.conftest import build_two_fpga_system, random_netlist
+
+
+class TestDistanceBound:
+    def test_single_net_exact(self):
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("n", 2, (4,))])
+        bound = distance_lower_bound(system, netlist)
+        model = DelayModel()
+        assert bound.value == pytest.approx(
+            model.d_sll + model.tdm_delay(model.tdm_step)
+        )
+        assert bound.argument == "distance"
+
+    def test_empty_netlist(self):
+        system = build_two_fpga_system()
+        bound = distance_lower_bound(system, Netlist([]))
+        assert bound.value == 0.0
+
+
+class TestBisectionBound:
+    def test_applies_only_to_two_fpgas(self):
+        builder = SystemBuilder()
+        handles = [builder.add_fpga(num_dies=2, sll_capacity=10) for _ in range(3)]
+        builder.add_tdm_edge(handles[0].die(1), handles[1].die(0), 4)
+        builder.add_tdm_edge(handles[1].die(1), handles[2].die(0), 4)
+        system = builder.build()
+        netlist = Netlist([Net("n", 0, (5,))])
+        assert bisection_lower_bound(system, netlist) is None
+
+    def test_pigeonhole_value(self):
+        system = build_two_fpga_system(tdm_capacity=4, num_tdm_edges=1)
+        # 40 crossing nets over 4 wires: some wire carries >= 10 nets.
+        netlist = Netlist([Net(f"n{i}", 3, (4,)) for i in range(40)])
+        bound = bisection_lower_bound(system, netlist)
+        model = DelayModel()
+        assert bound.value == pytest.approx(
+            model.tdm_delay(model.legalize_ratio(10))
+        )
+
+    def test_none_without_crossing_nets(self):
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("local", 0, (1,))])
+        assert bisection_lower_bound(system, netlist) is None
+
+
+class TestCertifiedBound:
+    def test_takes_the_stronger_argument(self):
+        system = build_two_fpga_system(tdm_capacity=2, num_tdm_edges=1)
+        netlist = Netlist([Net(f"n{i}", 3, (4,)) for i in range(30)])
+        bound = certified_lower_bound(system, netlist)
+        assert bound.argument == "bisection"
+
+    def test_sound_vs_exact_optimum(self):
+        for seed in range(6):
+            rng = random.Random(seed)
+            system = build_two_fpga_system(
+                tdm_capacity=rng.choice([2, 4]), num_tdm_edges=1
+            )
+            nets = []
+            for i in range(rng.randint(1, 6)):
+                src = rng.randrange(8)
+                dst = rng.randrange(8)
+                if dst == src:
+                    dst = (dst + 1) % 8
+                nets.append(Net(f"n{i}", src, (dst,)))
+            netlist = Netlist(nets)
+            exact = ExactSolver(system, netlist).solve()
+            if exact.optimal_delay == float("inf"):
+                continue
+            bound = certified_lower_bound(system, netlist)
+            assert bound.value <= exact.optimal_delay + 1e-9
+
+    def test_sound_vs_router_on_contest_cases(self):
+        for name in ("case01", "case02", "case03", "case04"):
+            case = load_case(name)
+            result = SynergisticRouter(case.system, case.netlist).route()
+            bound = certified_lower_bound(case.system, case.netlist)
+            assert bound.value <= result.critical_delay + 1e-9, name
+
+    def test_bound_is_tight_on_case03(self):
+        """Case03's tiny TDM capacity makes the bisection bound bite."""
+        case = load_case("case03")
+        result = SynergisticRouter(case.system, case.netlist).route()
+        bound = certified_lower_bound(case.system, case.netlist)
+        # Within one legalization step of what the router achieves.
+        model = DelayModel()
+        assert result.critical_delay <= bound.value + 4 * model.d1 * model.tdm_step

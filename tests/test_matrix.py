@@ -1,0 +1,77 @@
+"""Cross-router consistency matrix on the small contest cases.
+
+Every (router, case) pair must produce a complete solution whose reported
+critical delay matches an independent re-evaluation, and whose TDM rules
+are clean whenever the router claims legality.
+"""
+
+import pytest
+
+from repro import DelayModel, DesignRuleChecker, SynergisticRouter
+from repro.baselines import all_baseline_routers
+from repro.benchgen import load_case
+from repro.drc import ViolationKind
+from repro.timing import TimingAnalyzer
+
+CASES = ["case01", "case02", "case03", "case04"]
+ROUTERS = {"ours": SynergisticRouter, **all_baseline_routers()}
+
+_case_cache = {}
+
+
+def get_case(name):
+    if name not in _case_cache:
+        _case_cache[name] = load_case(name)
+    return _case_cache[name]
+
+
+_result_cache = {}
+
+
+def get_result(router_name, case_name):
+    key = (router_name, case_name)
+    if key not in _result_cache:
+        case = get_case(case_name)
+        _result_cache[key] = ROUTERS[router_name](case.system, case.netlist).route()
+    return _result_cache[key]
+
+
+@pytest.mark.parametrize("case_name", CASES)
+@pytest.mark.parametrize("router_name", sorted(ROUTERS))
+class TestRouterCaseMatrix:
+    def test_complete_solution(self, router_name, case_name):
+        result = get_result(router_name, case_name)
+        assert result.solution.is_complete
+
+    def test_delay_matches_reevaluation(self, router_name, case_name):
+        case = get_case(case_name)
+        result = get_result(router_name, case_name)
+        analyzer = TimingAnalyzer(case.system, case.netlist, DelayModel())
+        assert result.critical_delay == pytest.approx(
+            analyzer.critical_delay(result.solution)
+        )
+
+    def test_tdm_rules_always_clean(self, router_name, case_name):
+        """Even an SLL-overflowing router must keep the TDM rules."""
+        case = get_case(case_name)
+        result = get_result(router_name, case_name)
+        report = DesignRuleChecker(case.system, case.netlist, DelayModel()).check(
+            result.solution
+        )
+        for kind in (
+            ViolationKind.TDM_WIRE_RATIO,
+            ViolationKind.TDM_CAPACITY,
+            ViolationKind.TDM_DIRECTION,
+            ViolationKind.TDM_ASSIGNMENT,
+        ):
+            assert report.count(kind) == 0, f"{router_name}/{case_name}: {kind}"
+
+    def test_conflict_count_matches_drc(self, router_name, case_name):
+        case = get_case(case_name)
+        result = get_result(router_name, case_name)
+        report = DesignRuleChecker(case.system, case.netlist, DelayModel()).check(
+            result.solution, check_wires=False
+        )
+        assert (result.conflict_count > 0) == (
+            report.count(ViolationKind.SLL_CAPACITY) > 0
+        )

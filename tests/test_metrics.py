@@ -1,0 +1,236 @@
+"""Tests for solution metrics and text reports."""
+
+import pytest
+
+from repro import DelayModel, Net, Netlist
+from repro.arch.edges import EdgeKind
+from repro.report import (
+    solution_report,
+    system_report,
+    timing_report_text,
+    utilization_report,
+)
+from repro.route.metrics import (
+    edge_utilizations,
+    max_sll_utilization,
+    path_stats,
+    ratio_distribution,
+    total_edge_usage,
+    wire_occupancy,
+)
+from repro.timing import TimingAnalyzer
+from tests.conftest import build_two_fpga_system, random_netlist
+
+
+@pytest.fixture
+def routed(two_fpga_system, small_netlist, routed_result):
+    return two_fpga_system, small_netlist, routed_result.solution
+
+
+class TestEdgeUtilizations:
+    def test_covers_every_edge(self, routed):
+        system, netlist, solution = routed
+        records = edge_utilizations(solution)
+        assert len(records) == system.num_edges
+
+    def test_kind_filter(self, routed):
+        system, netlist, solution = routed
+        sll = edge_utilizations(solution, EdgeKind.SLL)
+        tdm = edge_utilizations(solution, EdgeKind.TDM)
+        assert len(sll) == len(system.sll_edges)
+        assert len(tdm) == len(system.tdm_edges)
+        assert all(record.kind == "sll" for record in sll)
+
+    def test_matches_solution_demand(self, routed):
+        system, netlist, solution = routed
+        for record in edge_utilizations(solution):
+            assert record.demand == solution.edge_demand(record.edge_index)
+
+    def test_max_sll_utilization(self, routed):
+        system, netlist, solution = routed
+        value = max_sll_utilization(solution)
+        assert 0.0 <= value
+        assert value == max(
+            solution.edge_demand(e.index) / e.capacity for e in system.sll_edges
+        )
+
+
+class TestRatioDistribution:
+    def test_counts_occupied_wires(self, routed):
+        system, netlist, solution = routed
+        distribution = ratio_distribution(solution)
+        occupied = sum(
+            1
+            for wires in solution.wires.values()
+            for wire in wires
+            if wire.demand
+        )
+        assert distribution.num_wires == occupied
+        if occupied:
+            assert distribution.min_ratio >= DelayModel().tdm_step
+
+    def test_empty_distribution(self):
+        system = build_two_fpga_system()
+        from repro.route.solution import RoutingSolution
+
+        solution = RoutingSolution(system, Netlist([]))
+        distribution = ratio_distribution(solution)
+        assert distribution.num_wires == 0
+        assert distribution.max_ratio == 0
+        assert distribution.mean_ratio() == 0.0
+
+
+class TestPathStats:
+    def test_counts(self, routed):
+        system, netlist, solution = routed
+        stats = path_stats(solution)
+        assert stats.num_paths == netlist.num_connections
+        assert stats.max_hops >= 1
+        assert stats.mean_hops > 0
+        assert stats.max_tdm_hops <= stats.max_hops
+
+    def test_total_edge_usage(self, routed):
+        system, netlist, solution = routed
+        usage = total_edge_usage(solution)
+        assert usage == sum(
+            solution.edge_demand(e.index) for e in system.edges
+        )
+
+    def test_wire_occupancy(self, routed):
+        system, netlist, solution = routed
+        for edge in system.tdm_edges:
+            occupancy = wire_occupancy(solution, edge.index)
+            wires = solution.wires.get(edge.index, [])
+            assert len(occupancy) == len(wires)
+
+
+class TestTextReports:
+    def test_system_report_mentions_everything(self, two_fpga_system):
+        text = system_report(two_fpga_system)
+        assert "2 FPGAs" in text
+        assert "SLL edges: 6" in text
+        assert "TDM edges: 2" in text
+
+    def test_utilization_report_has_bars(self, routed):
+        system, netlist, solution = routed
+        text = utilization_report(solution)
+        assert "[" in text and "]" in text
+        assert "paths:" in text
+
+    def test_utilization_report_flags_overflow(self):
+        system = build_two_fpga_system(sll_capacity=1)
+        netlist = Netlist([Net("a", 0, (1,)), Net("b", 0, (1,))])
+        from repro.route.solution import RoutingSolution
+
+        solution = RoutingSolution(system, netlist)
+        solution.set_path(0, [0, 1])
+        solution.set_path(1, [0, 1])
+        assert "OVERFLOW" in utilization_report(solution)
+
+    def test_timing_report_text(self, routed, delay_model):
+        system, netlist, solution = routed
+        analyzer = TimingAnalyzer(system, netlist, delay_model)
+        report = analyzer.analyze(solution)
+        text = timing_report_text(report, netlist)
+        assert "critical connection delay" in text
+        assert "histogram" in text
+
+    def test_solution_report_combines_sections(self, routed, delay_model):
+        system, netlist, solution = routed
+        text = solution_report(solution, delay_model)
+        assert "Edge utilization" in text
+        assert "TDM wires in use" in text
+        assert "critical connection delay" in text
+
+
+class TestSolutionSummary:
+    def test_summary_shape(self, routed, delay_model):
+        from repro.report import solution_summary
+
+        system, netlist, solution = routed
+        summary = solution_summary(solution, delay_model)
+        assert summary["nets"] == netlist.num_nets
+        assert summary["connections"] == netlist.num_connections
+        assert summary["conflicts"] == 0
+        assert summary["critical_delay"] > 0
+        assert sum(summary["delay_histogram"]) == netlist.num_connections
+        assert len(summary["edges"]) == system.num_edges
+        assert summary["tdm"]["wires_used"] >= 1
+
+    def test_summary_is_json_serializable(self, routed, delay_model, tmp_path):
+        import json
+
+        from repro.report import write_summary_json
+
+        system, netlist, solution = routed
+        path = tmp_path / "summary.json"
+        write_summary_json(path, solution, delay_model)
+        data = json.loads(path.read_text())
+        assert data["routed_connections"] == netlist.num_connections
+
+    def test_incomplete_solution_reports_null_delay(self, two_fpga_system, delay_model):
+        from repro import Net, Netlist
+        from repro.report import solution_summary
+        from repro.route.solution import RoutingSolution
+
+        netlist = Netlist([Net("a", 0, (1,))])
+        solution = RoutingSolution(two_fpga_system, netlist)
+        summary = solution_summary(solution, delay_model)
+        assert summary["critical_delay"] is None
+
+
+class TestTopologyDiagram:
+    def test_system_only(self, two_fpga_system):
+        from repro.report import topology_diagram
+
+        text = topology_diagram(two_fpga_system)
+        assert "fpga0" in text and "fpga1" in text
+        assert "[0]" in text and "[7]" in text
+        assert "SLL" in text and "TDM" in text
+        assert "wires" in text
+
+    def test_with_solution_shows_demand(self, routed):
+        from repro.report import topology_diagram
+
+        system, netlist, solution = routed
+        text = topology_diagram(system, solution)
+        assert "/" in text  # demand/capacity pairs
+        assert "demand" in text
+
+    def test_overflow_marked(self):
+        from repro import Net, Netlist
+        from repro.report import topology_diagram
+        from repro.route.solution import RoutingSolution
+
+        system = build_two_fpga_system(sll_capacity=1)
+        netlist = Netlist([Net("a", 0, (1,)), Net("b", 0, (1,))])
+        solution = RoutingSolution(system, netlist)
+        solution.set_path(0, [0, 1])
+        solution.set_path(1, [0, 1])
+        assert "OVERFLOW" in topology_diagram(system, solution)
+
+
+class TestPathDiagram:
+    def test_annotated_hops(self, routed):
+        from repro.report import path_diagram
+
+        system, netlist, solution = routed
+        # Find a connection that crosses a TDM edge.
+        for conn in netlist.connections:
+            hops = solution.path_hops(conn.index)
+            if any(system.edge(e).kind.value == "tdm" for e, _ in hops):
+                text = path_diagram(solution, conn.index)
+                assert "TDM(r=" in text
+                assert f"die {conn.source_die}" in text
+                break
+        else:
+            raise AssertionError("expected at least one TDM-crossing connection")
+
+    def test_unrouted_connection(self, two_fpga_system):
+        from repro import Net, Netlist
+        from repro.report import path_diagram
+        from repro.route.solution import RoutingSolution
+
+        netlist = Netlist([Net("a", 0, (1,))])
+        solution = RoutingSolution(two_fpga_system, netlist)
+        assert "UNROUTED" in path_diagram(solution, 0)

@@ -1,0 +1,125 @@
+"""Executable checklist of the paper's headline claims (at bench scale).
+
+Each test is one sentence from the paper turned into an assertion on the
+generated suite.  These are the repository's acceptance tests: if one
+fails, the reproduction no longer supports the paper's story.
+"""
+
+import pytest
+
+from repro import DelayModel, SynergisticRouter
+from repro.baselines import all_baseline_routers
+from repro.benchgen import load_case
+from repro.core.router import TdmAssigner
+from repro.timing import TimingAnalyzer
+
+CASES_SMALL = ["case02", "case03", "case04", "case05"]
+
+_cache = {}
+
+
+def routed(router_name, case_name):
+    key = (router_name, case_name)
+    if key not in _cache:
+        case = load_case(case_name)
+        if router_name == "ours":
+            _cache[key] = (case, SynergisticRouter(case.system, case.netlist).route())
+        else:
+            cls = all_baseline_routers()[router_name]
+            _cache[key] = (case, cls(case.system, case.netlist).route())
+    return _cache[key]
+
+
+class TestTableIIIClaims:
+    @pytest.mark.parametrize("case_name", CASES_SMALL)
+    def test_ours_never_worse_than_any_legal_baseline(self, case_name):
+        """'our router has ... less critical connection delay' vs all rows."""
+        _, ours = routed("ours", case_name)
+        assert ours.conflict_count == 0
+        for name in all_baseline_routers():
+            _, theirs = routed(name, case_name)
+            if theirs.conflict_count:
+                continue
+            assert ours.critical_delay <= theirs.critical_delay + 1e-9, name
+
+    def test_ours_beats_baselines_clearly_on_congested_case(self):
+        """Case #6 is the paper's big differentiator."""
+        case = load_case("case06")
+        ours = SynergisticRouter(case.system, case.netlist).route()
+        assert ours.conflict_count == 0
+        for name in ("winner1", "winner2", "iseda2024"):
+            cls = all_baseline_routers()[name]
+            theirs = cls(case.system, case.netlist).route()
+            assert ours.critical_delay < theirs.critical_delay, name
+
+    def test_adapted_fpga_level_fails_congested_cases(self):
+        """'The adapted router fails to deal with 3 of the 10 cases.'"""
+        cls = all_baseline_routers()["adapted-fpga-level"]
+        failures = 0
+        for name in ("case06", "case09", "case10"):
+            case = load_case(name)
+            result = cls(case.system, case.netlist).route()
+            if result.conflict_count > 0:
+                failures += 1
+        assert failures == 3
+
+    def test_every_router_legal_on_tiny_cases(self):
+        """All Table III rows show 0 #CONF on the small cases."""
+        for case_name in ("case01", "case02"):
+            for name in ["ours", *all_baseline_routers()]:
+                _, result = routed(name, case_name)
+                assert result.conflict_count == 0, (name, case_name)
+
+
+class TestNormalizedClaim:
+    def test_every_baseline_normalizes_above_one(self):
+        """The paper's Norm. column: ours 1.000, every baseline worse."""
+        from repro.analysis import run_comparison
+
+        cases = {}
+        for name in ("case03", "case04", "case05"):
+            case = load_case(name)
+            cases[name] = (case.system, case.netlist)
+        table = run_comparison(cases)
+        assert table.normalized_delay("ours") == pytest.approx(1.0)
+        for router in table.routers():
+            if router == "ours":
+                continue
+            norm = table.normalized_delay(router)
+            assert norm != norm or norm >= 1.0 - 1e-9, router  # NaN or >= 1
+
+
+class TestFig5Claims:
+    def test_our_tdm_algorithms_refine_baseline_topologies(self):
+        """Fig. 5(a): phase II on a baseline topology never hurts much and
+        usually helps."""
+        case = load_case("case05")
+        model = DelayModel()
+        analyzer = TimingAnalyzer(case.system, case.netlist, model)
+        cls = all_baseline_routers()["winner2"]
+        baseline = cls(case.system, case.netlist).route()
+        refined = baseline.solution.copy_topology()
+        TdmAssigner(case.system, case.netlist, model).assign(refined)
+        refined_delay = analyzer.critical_delay(refined)
+        assert refined_delay <= baseline.critical_delay + 1e-9
+
+    def test_refined_baselines_stay_behind_full_router(self):
+        """Fig. 5(a)'s second half: initial routing matters too."""
+        case = load_case("case05")
+        model = DelayModel()
+        analyzer = TimingAnalyzer(case.system, case.netlist, model)
+        ours = SynergisticRouter(case.system, case.netlist, model).route()
+        cls = all_baseline_routers()["winner2"]
+        baseline = cls(case.system, case.netlist).route()
+        refined = baseline.solution.copy_topology()
+        TdmAssigner(case.system, case.netlist, model).assign(refined)
+        assert ours.critical_delay <= analyzer.critical_delay(refined) + 1e-9
+
+    def test_initial_routing_dominates_runtime(self):
+        """Fig. 5(b): IR is the largest phase (case06 is big enough that
+        wall-clock noise cannot flip the ordering)."""
+        case = load_case("case06")
+        result = SynergisticRouter(case.system, case.netlist).route()
+        fractions = result.phase_times.fractions()
+        assert fractions["IR"] == max(fractions.values())
+        assert fractions["IR"] >= 0.3

@@ -1,0 +1,61 @@
+"""Phase II with a multi-threaded executor must match the sequential run."""
+
+import pytest
+
+from repro import DelayModel, DesignRuleChecker, RouterConfig
+from repro.core.initial_routing import InitialRouter
+from repro.core.router import TdmAssigner
+from repro.timing import TimingAnalyzer
+from tests.conftest import build_two_fpga_system, random_netlist
+
+
+@pytest.fixture
+def topology():
+    system = build_two_fpga_system(sll_capacity=120, tdm_capacity=12, num_tdm_edges=3)
+    netlist = random_netlist(system, 70, seed=71)
+    solution = InitialRouter(system, netlist).route()
+    return system, netlist, solution
+
+
+class TestParallelAssignment:
+    def test_parallel_matches_sequential(self, topology):
+        system, netlist, solution = topology
+        model = DelayModel()
+        sequential = solution.copy_topology()
+        TdmAssigner(
+            system, netlist, model, RouterConfig(num_workers=1)
+        ).assign(sequential)
+        parallel = solution.copy_topology()
+        TdmAssigner(
+            system, netlist, model, RouterConfig(num_workers=4)
+        ).assign(parallel)
+        assert sequential.ratios == parallel.ratios
+        analyzer = TimingAnalyzer(system, netlist, model)
+        assert analyzer.critical_delay(sequential) == pytest.approx(
+            analyzer.critical_delay(parallel)
+        )
+
+    def test_parallel_result_is_legal(self, topology):
+        system, netlist, solution = topology
+        model = DelayModel()
+        target = solution.copy_topology()
+        TdmAssigner(system, netlist, model, RouterConfig(num_workers=4)).assign(target)
+        report = DesignRuleChecker(system, netlist, model).check(target)
+        assert report.is_clean
+
+    def test_wire_counts_identical(self, topology):
+        system, netlist, solution = topology
+        model = DelayModel()
+        sequential = solution.copy_topology()
+        parallel = solution.copy_topology()
+        TdmAssigner(system, netlist, model, RouterConfig(num_workers=1)).assign(
+            sequential
+        )
+        TdmAssigner(system, netlist, model, RouterConfig(num_workers=4)).assign(
+            parallel
+        )
+        for edge_index, wires in sequential.wires.items():
+            other = parallel.wires[edge_index]
+            assert [(w.direction, w.ratio, sorted(w.net_indices)) for w in wires] == [
+                (w.direction, w.ratio, sorted(w.net_indices)) for w in other
+            ]

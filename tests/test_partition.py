@@ -1,0 +1,214 @@
+"""Tests for the partitioning substrate: logic model, FM, recursive."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.partition import (
+    Cell,
+    DiePartitioner,
+    LogicNet,
+    LogicNetlist,
+    fm_bipartition,
+    generate_logic_netlist,
+)
+from tests.conftest import build_two_fpga_system
+
+
+class TestLogicModel:
+    def test_cell_validation(self):
+        with pytest.raises(ValueError):
+            Cell("c0", area=0)
+
+    def test_net_needs_two_cells(self):
+        with pytest.raises(ValueError):
+            LogicNet("n0", ("a",))
+        with pytest.raises(ValueError):
+            LogicNet("n0", ("a", "a"))
+
+    def test_net_dedups_cells(self):
+        net = LogicNet("n0", ("a", "b", "a"))
+        assert net.cell_names == ("a", "b")
+        assert net.driver == "a"
+        assert net.sinks == ("b",)
+
+    def test_netlist_validation(self):
+        cells = [Cell("a"), Cell("b")]
+        with pytest.raises(ValueError, match="unknown cell"):
+            LogicNetlist(cells, [LogicNet("n0", ("a", "ghost"))])
+        with pytest.raises(ValueError, match="duplicate cell"):
+            LogicNetlist([Cell("a"), Cell("a")], [])
+        with pytest.raises(ValueError, match="duplicate net"):
+            LogicNetlist(cells, [LogicNet("n", ("a", "b")), LogicNet("n", ("b", "a"))])
+
+    def test_edges_and_cut(self):
+        cells = [Cell("a"), Cell("b"), Cell("c")]
+        netlist = LogicNetlist(cells, [LogicNet("n0", ("a", "b", "c"))])
+        assert netlist.edges == [(0, 1, 2)]
+        assert netlist.cut_size([0, 0, 0]) == 0
+        assert netlist.cut_size([0, 0, 1]) == 1
+
+    def test_total_area(self):
+        netlist = LogicNetlist([Cell("a", 2.0), Cell("b", 3.0)], [])
+        assert netlist.total_area() == pytest.approx(5.0)
+
+
+class TestFm:
+    def test_separates_two_cliques(self):
+        # Two 4-cliques joined by one bridge net: the min cut is 1.
+        edges = []
+        for base in (0, 4):
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    edges.append((base + i, base + j))
+        edges.append((0, 4))  # the bridge
+        result = fm_bipartition(8, edges)
+        assert result.cut_size == 1
+        sides = result.sides
+        assert len({sides[0], sides[1], sides[2], sides[3]}) == 1
+        assert len({sides[4], sides[5], sides[6], sides[7]}) == 1
+        assert sides[0] != sides[4]
+
+    def test_improves_over_random(self):
+        design = generate_logic_netlist(num_cells=200, num_modules=4, seed=8)
+        rng = random.Random(1)
+        random_cut = design.cut_size([rng.randint(0, 1) for _ in range(200)])
+        result = fm_bipartition(
+            design.num_cells, design.edges, [c.area for c in design.cells]
+        )
+        assert result.cut_size < random_cut
+
+    def test_respects_capacities(self):
+        design = generate_logic_netlist(num_cells=100, seed=9)
+        areas = [c.area for c in design.cells]
+        total = sum(areas)
+        caps = (total * 0.6, total * 0.6)
+        result = fm_bipartition(design.num_cells, design.edges, areas, caps)
+        assert result.side_areas[0] <= caps[0] + 1e-6
+        assert result.side_areas[1] <= caps[1] + 1e-6
+
+    def test_infeasible_capacities_rejected(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            fm_bipartition(4, [], areas=[1, 1, 1, 1], capacities=(1.0, 1.0))
+
+    def test_bad_initial_assignment_rejected(self):
+        with pytest.raises(ValueError, match="violates"):
+            fm_bipartition(
+                2,
+                [],
+                areas=[5.0, 5.0],
+                capacities=(6.0, 6.0),
+                initial_sides=[0, 0],
+            )
+
+    def test_deterministic(self):
+        design = generate_logic_netlist(num_cells=120, seed=4)
+        one = fm_bipartition(design.num_cells, design.edges)
+        two = fm_bipartition(design.num_cells, design.edges)
+        assert one.sides == two.sides
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_cells=st.integers(min_value=2, max_value=40),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_fm_never_worse_than_initial(self, num_cells, seed):
+        design = generate_logic_netlist(num_cells=num_cells, num_modules=3, seed=seed)
+        areas = [c.area for c in design.cells]
+        total = sum(areas)
+        # Half the area plus one largest cell guarantees a feasible packing.
+        cap = total / 2 + max(areas) + 1e-9
+        caps = (cap, cap)
+        result = fm_bipartition(design.num_cells, design.edges, areas, caps)
+        # Capacity respected and the reported cut is consistent.
+        assert result.side_areas[0] <= caps[0] + 1e-6
+        assert result.side_areas[1] <= caps[1] + 1e-6
+        assert result.cut_size == design.cut_size(result.sides)
+
+
+class TestDiePartitioner:
+    def test_assigns_every_cell(self):
+        system = build_two_fpga_system()
+        design = generate_logic_netlist(num_cells=150, seed=10)
+        result = DiePartitioner(system).partition(design)
+        assert all(0 <= die < system.num_dies for die in result.assignment)
+
+    def test_balance(self):
+        system = build_two_fpga_system()
+        design = generate_logic_netlist(num_cells=320, seed=12)
+        partitioner = DiePartitioner(system, balance_slack=0.3)
+        result = partitioner.partition(design)
+        fair_share = design.total_area() / system.num_dies
+        for die, area in result.die_areas.items():
+            # Recursive slack compounds per level (3 levels for 8 dies).
+            assert area <= fair_share * (1.3**3) + 1e-6
+
+    def test_cut_counts_multi_die_nets(self):
+        system = build_two_fpga_system()
+        design = generate_logic_netlist(num_cells=100, seed=13)
+        result = DiePartitioner(system).partition(design)
+        expected = sum(
+            1
+            for edge in design.edges
+            if len({result.assignment[c] for c in edge}) > 1
+        )
+        assert result.cut_nets == expected
+
+    def test_to_die_netlist_preserves_drivers(self):
+        system = build_two_fpga_system()
+        design = LogicNetlist(
+            [Cell("a"), Cell("b"), Cell("c")],
+            [LogicNet("n0", ("a", "b", "c"))],
+        )
+        partitioner = DiePartitioner(system)
+        result = partitioner.partition(design)
+        netlist = partitioner.to_die_netlist(design, result)
+        net = netlist.net_by_name("n0")
+        assert net.source_die == result.assignment[0]
+        assert set(net.sink_dies) == {
+            result.assignment[1],
+            result.assignment[2],
+        }
+
+    def test_full_flow_routes(self):
+        system = build_two_fpga_system(sll_capacity=400, tdm_capacity=32)
+        design = generate_logic_netlist(num_cells=200, seed=14)
+        partitioner = DiePartitioner(system)
+        result = partitioner.partition(design)
+        netlist = partitioner.to_die_netlist(design, result)
+        from repro import SynergisticRouter
+
+        routed = SynergisticRouter(system, netlist).route()
+        assert routed.solution.is_complete
+
+    def test_bad_slack_rejected(self):
+        system = build_two_fpga_system()
+        with pytest.raises(ValueError):
+            DiePartitioner(system, balance_slack=-0.1)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_logic_netlist(seed=7)
+        b = generate_logic_netlist(seed=7)
+        assert [n.cell_names for n in a.nets] == [n.cell_names for n in b.nets]
+
+    def test_counts(self):
+        design = generate_logic_netlist(num_cells=100, nets_per_cell=2.0, seed=1)
+        assert design.num_cells == 100
+        assert design.num_nets == 200
+
+    def test_clustering_gives_good_cuts(self):
+        # A clustered design must have a much better-than-random bisection.
+        design = generate_logic_netlist(
+            num_cells=200, num_modules=2, global_net_fraction=0.05, seed=3
+        )
+        result = fm_bipartition(design.num_cells, design.edges)
+        assert result.cut_size < design.num_nets * 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_logic_netlist(num_cells=1)
+        with pytest.raises(ValueError):
+            generate_logic_netlist(global_net_fraction=1.5)

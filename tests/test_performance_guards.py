@@ -1,0 +1,48 @@
+"""Loose performance guards: runtimes must stay in their order of magnitude.
+
+Budgets are 5-10x the observed times on a 1-core container, so these only
+trip on genuine complexity regressions (an accidental O(n^2) in a hot
+loop), never on machine noise.
+"""
+
+import time
+
+import pytest
+
+from repro import SynergisticRouter
+from repro.benchgen import load_case
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+class TestRoutingBudgets:
+    def test_case05_routes_fast(self):
+        case = load_case("case05")  # 5k connections, full scale
+        result, elapsed = timed(
+            lambda: SynergisticRouter(case.system, case.netlist).route()
+        )
+        assert result.solution.is_complete
+        assert elapsed < 10.0, f"case05 took {elapsed:.1f}s (budget 10s)"
+
+    def test_case07_routes_fast(self):
+        case = load_case("case07")  # ~15k connections
+        result, elapsed = timed(
+            lambda: SynergisticRouter(case.system, case.netlist).route()
+        )
+        assert result.solution.is_complete
+        assert elapsed < 30.0, f"case07 took {elapsed:.1f}s (budget 30s)"
+
+    def test_generation_is_fast(self):
+        _, elapsed = timed(lambda: load_case("case08"))
+        assert elapsed < 15.0, f"generation took {elapsed:.1f}s (budget 15s)"
+
+    def test_phase2_is_minor_share(self):
+        """Phase II must stay the minor runtime share (Fig. 5(b) shape)."""
+        case = load_case("case06")
+        result = SynergisticRouter(case.system, case.netlist).route()
+        fractions = result.phase_times.fractions()
+        assert fractions["IR"] >= 0.3

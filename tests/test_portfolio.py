@@ -1,0 +1,93 @@
+"""Tests for the portfolio (multi-start) router."""
+
+import pytest
+
+from repro import DesignRuleChecker, DelayModel, RouterConfig, SynergisticRouter
+from repro.core.portfolio import PortfolioRouter, default_portfolio
+from tests.conftest import build_two_fpga_system, random_netlist
+
+
+@pytest.fixture
+def case():
+    system = build_two_fpga_system(sll_capacity=120)
+    netlist = random_netlist(system, 50, seed=61)
+    return system, netlist
+
+
+class TestDefaultPortfolio:
+    def test_four_configs(self):
+        portfolio = default_portfolio()
+        assert set(portfolio) == {
+            "auto",
+            "delay-weights",
+            "congestion-weights",
+            "full-ripup",
+        }
+
+    def test_derived_from_base(self):
+        base = RouterConfig(mu_shared=1.0)
+        portfolio = default_portfolio(base)
+        assert all(config.mu_shared == 1.0 for config in portfolio.values())
+        assert portfolio["delay-weights"].weight_mode == "delay"
+
+
+class TestPortfolioRouter:
+    def test_never_worse_than_default(self, case):
+        system, netlist = case
+        single = SynergisticRouter(system, netlist).route()
+        outcome = PortfolioRouter(system, netlist).route()
+        assert outcome.best.critical_delay <= single.critical_delay + 1e-9
+
+    def test_scoreboard_covers_every_config(self, case):
+        system, netlist = case
+        outcome = PortfolioRouter(system, netlist).route()
+        assert set(outcome.scores) == set(default_portfolio())
+        assert outcome.best_name in outcome.scores
+        rows = outcome.table()
+        assert any("<- best" in row for row in rows)
+
+    def test_best_is_legal_when_any_config_is(self, case):
+        system, netlist = case
+        outcome = PortfolioRouter(system, netlist).route()
+        if any(conf == 0 for _, conf, _ in outcome.scores.values()):
+            assert outcome.best.conflict_count == 0
+        report = DesignRuleChecker(system, netlist, DelayModel()).check(
+            outcome.best.solution
+        )
+        if outcome.best.conflict_count == 0:
+            assert report.is_clean
+
+    def test_custom_portfolio(self, case):
+        system, netlist = case
+        portfolio = {"only": RouterConfig(timing_reroute_rounds=0)}
+        outcome = PortfolioRouter(system, netlist, portfolio=portfolio).route()
+        assert outcome.best_name == "only"
+
+    def test_empty_portfolio_rejected(self, case):
+        system, netlist = case
+        with pytest.raises(ValueError):
+            PortfolioRouter(system, netlist, portfolio={})
+
+    def test_legality_dominates_delay(self):
+        """A legal slow result must beat an illegal fast one."""
+        from repro.core.portfolio import PortfolioRouter as PR
+        from repro.core.router import PhaseTimes, RoutingResult
+        from repro.route.solution import RoutingSolution
+        from repro.timing.analysis import TimingReport
+        from repro import Net, Netlist
+
+        system = build_two_fpga_system()
+        netlist = Netlist([Net("a", 0, (1,))])
+
+        def fake(delay, conflicts):
+            return RoutingResult(
+                solution=RoutingSolution(system, netlist),
+                critical_delay=delay,
+                conflict_count=conflicts,
+                phase_times=PhaseTimes(),
+                timing=TimingReport(critical_delay=delay, critical_connection=-1),
+            )
+
+        assert PR._better(fake(100.0, 0), fake(5.0, 3))
+        assert not PR._better(fake(5.0, 3), fake(100.0, 0))
+        assert PR._better(fake(5.0, 0), fake(6.0, 0))

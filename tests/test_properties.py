@@ -1,0 +1,130 @@
+"""System-level property tests: random instances through the full router.
+
+Hypothesis drives random multi-FPGA systems and netlists through the
+complete pipeline and asserts the global invariants of DESIGN.md §6.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import (
+    DelayModel,
+    DesignRuleChecker,
+    Net,
+    Netlist,
+    RouterConfig,
+    SynergisticRouter,
+    SystemBuilder,
+)
+from repro.timing import TimingAnalyzer
+
+
+@st.composite
+def random_case(draw):
+    """A random feasible-ish multi-FPGA case."""
+    num_fpgas = draw(st.integers(min_value=2, max_value=3))
+    dies_per_fpga = draw(st.integers(min_value=2, max_value=4))
+    sll_capacity = draw(st.integers(min_value=4, max_value=60))
+    tdm_capacity = draw(st.integers(min_value=2, max_value=24))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    num_nets = draw(st.integers(min_value=1, max_value=60))
+
+    builder = SystemBuilder()
+    handles = [
+        builder.add_fpga(num_dies=dies_per_fpga, sll_capacity=sll_capacity)
+        for _ in range(num_fpgas)
+    ]
+    rng = random.Random(seed)
+    # Ring of TDM edges keeps the system connected; a few random extras.
+    for i in range(num_fpgas):
+        a = handles[i]
+        b = handles[(i + 1) % num_fpgas]
+        if i + 1 < num_fpgas or num_fpgas > 2:
+            builder.add_tdm_edge(
+                a.die(rng.randrange(dies_per_fpga)),
+                b.die(rng.randrange(dies_per_fpga)),
+                tdm_capacity,
+            )
+    system = builder.build()
+
+    num_dies = system.num_dies
+    nets = []
+    for i in range(num_nets):
+        source = rng.randrange(num_dies)
+        fanout = rng.randint(1, min(3, num_dies - 1))
+        sinks = tuple(rng.sample(range(num_dies), fanout))
+        nets.append(Net(f"n{i}", source, sinks))
+    return system, Netlist(nets)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(case=random_case())
+def test_full_router_invariants(case):
+    system, netlist = case
+    model = DelayModel()
+    result = SynergisticRouter(system, netlist, model).route()
+
+    # Every connection routed.
+    assert result.solution.is_complete
+
+    # If the router reports legality, the DRC agrees completely.
+    report = DesignRuleChecker(system, netlist, model).check(result.solution)
+    if result.conflict_count == 0:
+        assert report.is_clean, report.summary()
+    else:
+        # Overflow may be structurally unavoidable, but the TDM rules must
+        # still hold and the conflict count must match the DRC's view.
+        from repro.drc import ViolationKind
+
+        assert report.count(ViolationKind.TDM_WIRE_RATIO) == 0
+        assert report.count(ViolationKind.TDM_CAPACITY) == 0
+        assert report.count(ViolationKind.TDM_DIRECTION) == 0
+        assert report.count(ViolationKind.TDM_ASSIGNMENT) == 0
+
+    # The reported critical delay equals an independent re-evaluation.
+    analyzer = TimingAnalyzer(system, netlist, model)
+    assert result.critical_delay == pytest.approx(
+        analyzer.critical_delay(result.solution)
+    )
+
+    # Every TDM ratio in the final solution is legal.
+    for ratio in result.solution.ratios.values():
+        assert model.is_legal_ratio(ratio)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(case=random_case(), step=st.sampled_from([1, 2, 4, 8, 16]))
+def test_router_respects_any_tdm_step(case, step):
+    system, netlist = case
+    model = DelayModel(tdm_step=step)
+    result = SynergisticRouter(system, netlist, model).route()
+    for ratio in result.solution.ratios.values():
+        assert model.is_legal_ratio(ratio)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(case=random_case())
+def test_mu_disabled_still_legal(case):
+    """Ablation sanity: µ=1 (no sharing discount) keeps everything legal."""
+    system, netlist = case
+    model = DelayModel()
+    config = RouterConfig(mu_shared=1.0)
+    result = SynergisticRouter(system, netlist, model, config).route()
+    assert result.solution.is_complete
+    for ratio in result.solution.ratios.values():
+        assert model.is_legal_ratio(ratio)

@@ -1,0 +1,50 @@
+"""Golden regression values for the contest suite.
+
+The pipeline is deterministic, so the exact critical delays of the
+default-scale suite are stable; any change to routing order, cost
+functions, the LR update or the legalization shows up here first.  When a
+deliberate algorithm change shifts these numbers, update the goldens *and*
+check the Table III shape still holds (EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro import SynergisticRouter
+from repro.benchgen import load_case
+
+#: (critical delay, conflict count) per case at the default scales.
+GOLDEN = {
+    "case01": (7.0, 0),
+    "case02": (8.0, 0),
+    "case03": (7.5, 0),
+    "case04": (11.0, 0),
+    "case05": (11.5, 0),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_critical_delay(name):
+    case = load_case(name)
+    result = SynergisticRouter(case.system, case.netlist).route()
+    expected_delay, expected_conflicts = GOLDEN[name]
+    assert result.conflict_count == expected_conflicts
+    assert result.critical_delay == pytest.approx(expected_delay)
+
+
+def test_generation_is_stable():
+    """The generator's first nets never change for a fixed seed."""
+    case = load_case("case02")
+    nets = [(n.name, n.source_die, n.sink_dies) for n in case.netlist.nets[:5]]
+    case2 = load_case("case02")
+    nets2 = [(n.name, n.source_die, n.sink_dies) for n in case2.netlist.nets[:5]]
+    assert nets == nets2
+
+
+def test_routing_is_deterministic_across_runs():
+    case = load_case("case04")
+    first = SynergisticRouter(case.system, case.netlist).route()
+    second = SynergisticRouter(case.system, case.netlist).route()
+    assert first.critical_delay == second.critical_delay
+    for conn in case.netlist.connections:
+        assert first.solution.path(conn.index) == second.solution.path(conn.index)
+    assert first.solution.ratios == second.solution.ratios

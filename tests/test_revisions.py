@@ -1,0 +1,73 @@
+"""Tests for the netlist revision generator and its ECO integration."""
+
+import pytest
+
+from repro import DesignRuleChecker, DelayModel, SynergisticRouter
+from repro.benchgen import RevisionSpec, revise_netlist
+from repro.core.eco import EcoRouter
+from tests.conftest import build_two_fpga_system, random_netlist
+
+
+@pytest.fixture
+def base_netlist(two_fpga_system):
+    return random_netlist(two_fpga_system, 100, seed=81)
+
+
+class TestReviseNetlist:
+    def test_deterministic(self, two_fpga_system, base_netlist):
+        a = revise_netlist(base_netlist, two_fpga_system.num_dies)
+        b = revise_netlist(base_netlist, two_fpga_system.num_dies)
+        assert [(n.name, n.sink_dies) for n in a.nets] == [
+            (n.name, n.sink_dies) for n in b.nets
+        ]
+
+    def test_change_budget(self, two_fpga_system, base_netlist):
+        spec = RevisionSpec(
+            retarget_fraction=0.1, remove_fraction=0.05, add_fraction=0.05, seed=3
+        )
+        revised = revise_netlist(base_netlist, two_fpga_system.num_dies, spec)
+        # 100 nets: 5 removed + 5 added => still 100.
+        assert revised.num_nets == 100
+        base_names = {n.name for n in base_netlist.nets}
+        added = [n for n in revised.nets if n.name not in base_names]
+        assert len(added) == 5
+        changed = 0
+        for net in revised.nets:
+            old = base_netlist.net_by_name(net.name)
+            if old is not None and old.sink_dies != net.sink_dies:
+                changed += 1
+        assert changed <= 10  # some retargets may roll the same sinks
+
+    def test_unchanged_nets_carry_pins(self, two_fpga_system, base_netlist):
+        spec = RevisionSpec(retarget_fraction=0, remove_fraction=0, add_fraction=0)
+        revised = revise_netlist(base_netlist, two_fpga_system.num_dies, spec)
+        assert [(n.name, n.source_die, n.sink_dies) for n in revised.nets] == [
+            (n.name, n.source_die, n.sink_dies) for n in base_netlist.nets
+        ]
+
+    def test_validation(self, base_netlist):
+        with pytest.raises(ValueError):
+            RevisionSpec(retarget_fraction=1.5)
+        with pytest.raises(ValueError):
+            revise_netlist(base_netlist, 1)
+
+
+class TestRevisionEcoIntegration:
+    def test_migration_chain_stays_legal(self, two_fpga_system, base_netlist):
+        """Three revisions migrated in sequence, each DRC clean."""
+        model = DelayModel()
+        result = SynergisticRouter(two_fpga_system, base_netlist, model).route()
+        solution = result.solution
+        netlist = base_netlist
+        eco = EcoRouter(two_fpga_system, model)
+        for seed in (1, 2, 3):
+            revised = revise_netlist(
+                netlist, two_fpga_system.num_dies, RevisionSpec(seed=seed)
+            )
+            outcome = eco.migrate(solution, revised)
+            report = DesignRuleChecker(two_fpga_system, revised, model).check(
+                outcome.solution
+            )
+            assert report.is_clean, f"revision {seed}: {report.summary()}"
+            assert outcome.preserved_connections > 0
+            solution, netlist = outcome.solution, revised

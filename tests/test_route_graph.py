@@ -1,0 +1,53 @@
+"""Unit tests for the array-backed routing graph."""
+
+import numpy as np
+import pytest
+
+from repro.route.graph import RoutingGraph
+from tests.conftest import build_two_fpga_system
+
+
+@pytest.fixture
+def graph():
+    return RoutingGraph(build_two_fpga_system(sll_capacity=7, tdm_capacity=3))
+
+
+class TestArrays:
+    def test_shapes(self, graph):
+        assert graph.num_dies == 8
+        assert graph.num_edges == 8
+        assert graph.die_a.shape == (8,)
+        assert graph.capacity.dtype == np.int64
+
+    def test_kind_partition(self, graph):
+        assert len(graph.sll_edge_indices) == 6
+        assert len(graph.tdm_edge_indices) == 2
+        assert not set(graph.sll_edge_indices) & set(graph.tdm_edge_indices)
+
+    def test_capacities_match_system(self, graph):
+        for edge in graph.system.edges:
+            assert graph.capacity[edge.index] == edge.capacity
+
+    def test_endpoints_ordered(self, graph):
+        assert np.all(graph.die_a < graph.die_b)
+
+    def test_adjacency_symmetric(self, graph):
+        for die in range(graph.num_dies):
+            for edge_index, other in graph.adjacency[die]:
+                assert (edge_index, die) in graph.adjacency[other]
+
+
+class TestHelpers:
+    def test_other_endpoint(self, graph):
+        edge = graph.system.edge_between(0, 1)
+        assert graph.other_endpoint(edge.index, 0) == 1
+        assert graph.other_endpoint(edge.index, 1) == 0
+        with pytest.raises(ValueError):
+            graph.other_endpoint(edge.index, 5)
+
+    def test_direction(self, graph):
+        edge = graph.system.edge_between(0, 1)
+        assert graph.direction(edge.index, 0) == 0
+        assert graph.direction(edge.index, 1) == 1
+        with pytest.raises(ValueError):
+            graph.direction(edge.index, 7)

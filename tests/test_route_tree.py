@@ -1,0 +1,64 @@
+"""Unit tests for path/tree helpers."""
+
+import pytest
+
+from repro.route.tree import edges_form_tree, net_edge_union, path_to_edge_list
+from tests.conftest import build_two_fpga_system
+
+
+class TestPathToEdgeList:
+    def test_directions(self):
+        system = build_two_fpga_system()
+        hops = path_to_edge_list(system, [0, 1, 2])
+        assert len(hops) == 2
+        (e0, d0), (e1, d1) = hops
+        assert system.edge(e0).dies == (0, 1) and d0 == 0
+        assert system.edge(e1).dies == (1, 2) and d1 == 0
+
+    def test_reverse_direction(self):
+        system = build_two_fpga_system()
+        hops = path_to_edge_list(system, [2, 1])
+        assert hops[0][1] == 1
+
+    def test_single_die_path(self):
+        system = build_two_fpga_system()
+        assert path_to_edge_list(system, [3]) == []
+
+    def test_non_adjacent_rejected(self):
+        system = build_two_fpga_system()
+        with pytest.raises(ValueError, match="not adjacent"):
+            path_to_edge_list(system, [0, 2])
+
+    def test_loop_rejected(self):
+        system = build_two_fpga_system()
+        with pytest.raises(ValueError, match="revisits"):
+            path_to_edge_list(system, [0, 1, 0])
+
+    def test_empty_path_rejected(self):
+        system = build_two_fpga_system()
+        with pytest.raises(ValueError):
+            path_to_edge_list(system, [])
+
+
+class TestEdgesFormTree:
+    def test_tree_accepted(self):
+        assert edges_form_tree([(0, 1), (1, 2), (1, 3)])
+
+    def test_cycle_rejected(self):
+        assert not edges_form_tree([(0, 1), (1, 2), (2, 0)])
+
+    def test_forest_accepted(self):
+        assert edges_form_tree([(0, 1), (5, 6)])
+
+    def test_empty_is_tree(self):
+        assert edges_form_tree([])
+
+
+class TestNetEdgeUnion:
+    def test_union_dedups_shared_prefix(self):
+        union = net_edge_union([[0, 1, 2], [0, 1, 3]])
+        assert union == {(0, 1), (1, 2), (1, 3)}
+
+    def test_direction_normalized(self):
+        union = net_edge_union([[2, 1], [1, 2]])
+        assert union == {(1, 2)}

@@ -1,0 +1,89 @@
+"""Tests for explicit SLL wire assignment."""
+
+import pytest
+
+from repro import Net, Netlist, SynergisticRouter
+from repro.route.solution import RoutingSolution
+from repro.route.sll_wires import (
+    SllCapacityError,
+    assign_sll_wires,
+    validate_sll_wires,
+)
+from tests.conftest import build_two_fpga_system, random_netlist
+
+
+@pytest.fixture
+def routed():
+    system = build_two_fpga_system(sll_capacity=100)
+    netlist = random_netlist(system, 40, seed=17)
+    result = SynergisticRouter(system, netlist).route()
+    return system, netlist, result.solution
+
+
+class TestAssign:
+    def test_valid_assignment(self, routed):
+        system, netlist, solution = routed
+        mapping = assign_sll_wires(solution)
+        assert validate_sll_wires(solution, mapping) == []
+
+    def test_injective_per_edge(self, routed):
+        system, netlist, solution = routed
+        mapping = assign_sll_wires(solution)
+        for edge_index, assigned in mapping.items():
+            wires = list(assigned.values())
+            assert len(wires) == len(set(wires))
+            assert all(
+                0 <= wire < system.edge(edge_index).capacity for wire in wires
+            )
+
+    def test_deterministic(self, routed):
+        system, netlist, solution = routed
+        assert assign_sll_wires(solution) == assign_sll_wires(solution)
+
+    def test_overfull_edge_rejected(self):
+        system = build_two_fpga_system(sll_capacity=1)
+        netlist = Netlist([Net("a", 0, (1,)), Net("b", 0, (1,))])
+        solution = RoutingSolution(system, netlist)
+        solution.set_path(0, [0, 1])
+        solution.set_path(1, [0, 1])
+        with pytest.raises(SllCapacityError):
+            assign_sll_wires(solution)
+
+
+class TestValidate:
+    def test_missing_wire_detected(self, routed):
+        system, netlist, solution = routed
+        mapping = assign_sll_wires(solution)
+        edge_index = next(iter(mapping))
+        net = next(iter(mapping[edge_index]))
+        del mapping[edge_index][net]
+        problems = validate_sll_wires(solution, mapping)
+        assert any("has no wire" in p for p in problems)
+
+    def test_duplicate_wire_detected(self, routed):
+        system, netlist, solution = routed
+        mapping = assign_sll_wires(solution)
+        edge_index = next(
+            e for e, assigned in mapping.items() if len(assigned) >= 2
+        )
+        nets = list(mapping[edge_index])
+        mapping[edge_index][nets[1]] = mapping[edge_index][nets[0]]
+        problems = validate_sll_wires(solution, mapping)
+        assert any("shared by" in p for p in problems)
+
+    def test_out_of_range_detected(self, routed):
+        system, netlist, solution = routed
+        mapping = assign_sll_wires(solution)
+        edge_index = next(iter(mapping))
+        net = next(iter(mapping[edge_index]))
+        mapping[edge_index][net] = 10**9
+        problems = validate_sll_wires(solution, mapping)
+        assert any("out of range" in p for p in problems)
+
+    def test_phantom_assignment_detected(self, routed):
+        system, netlist, solution = routed
+        mapping = assign_sll_wires(solution)
+        edge_index = next(iter(mapping))
+        mapping[edge_index][10**6] = 0
+        problems = validate_sll_wires(solution, mapping)
+        assert any("not routed here" in p for p in problems)

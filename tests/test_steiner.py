@@ -1,0 +1,72 @@
+"""Unit and property tests for the Steiner-tree heuristic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.route.steiner import steiner_tree_paths, tree_edge_count
+from repro.route.tree import edges_form_tree, net_edge_union
+from tests.test_dijkstra import line_adjacency, random_graph
+
+
+class TestSteinerTreePaths:
+    def test_single_sink_is_shortest_path(self):
+        adjacency = line_adjacency(5)
+        paths = steiner_tree_paths(adjacency, 0, [4], lambda e, a, b: 1.0)
+        assert paths == {4: [0, 1, 2, 3, 4]}
+
+    def test_no_sinks(self):
+        adjacency = line_adjacency(3)
+        assert steiner_tree_paths(adjacency, 0, [], lambda e, a, b: 1.0) == {}
+
+    def test_source_sink_filtered(self):
+        adjacency = line_adjacency(3)
+        paths = steiner_tree_paths(adjacency, 1, [1, 2], lambda e, a, b: 1.0)
+        assert set(paths) == {2}
+
+    def test_shares_tree_edges(self):
+        # Line 0-1-2-3: sinks 2 and 3 share the prefix 0-1-2.
+        adjacency = line_adjacency(4)
+        paths = steiner_tree_paths(adjacency, 0, [2, 3], lambda e, a, b: 1.0)
+        assert paths[2] == [0, 1, 2]
+        assert paths[3] == [0, 1, 2, 3]
+        assert tree_edge_count(paths) == 3
+
+    def test_unreachable_sink_raises(self):
+        adjacency = [[], []]
+        with pytest.raises(ValueError, match="unreachable"):
+            steiner_tree_paths(adjacency, 0, [1], lambda e, a, b: 1.0)
+
+    def test_steiner_beats_star_on_shared_route(self):
+        # Star via hub: source 0, hub 1, sinks 2 and 3 both behind the hub.
+        adjacency = [
+            [(0, 1)],
+            [(0, 0), (1, 2), (2, 3)],
+            [(1, 1)],
+            [(2, 1)],
+        ]
+        paths = steiner_tree_paths(adjacency, 0, [2, 3], lambda e, a, b: 1.0)
+        # 3 edges total (0-1 shared), not 4.
+        assert tree_edge_count(paths) == 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=12),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=5),
+)
+def test_property_tree_paths_form_tree(n, seed, num_sinks):
+    adjacency, weights, _ = random_graph(n, 2 * n, seed)
+    rng = random.Random(seed + 1)
+    source = rng.randrange(n)
+    sinks = rng.sample(range(n), min(num_sinks, n))
+    paths = steiner_tree_paths(adjacency, source, sinks, lambda e, a, b: weights[e])
+    expected = {s for s in sinks if s != source}
+    assert set(paths) == expected
+    for sink, path in paths.items():
+        assert path[0] == source and path[-1] == sink
+        assert len(set(path)) == len(path)
+    # The union of all paths is acyclic (a genuine tree).
+    assert edges_form_tree(net_edge_union(paths.values()))

@@ -1,0 +1,61 @@
+"""Tests for the SVG rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro import Net, Netlist
+from repro.report import render_svg, write_svg
+from repro.route.solution import RoutingSolution
+from tests.conftest import build_two_fpga_system
+
+
+class TestRenderSvg:
+    def test_valid_xml(self, two_fpga_system):
+        svg = render_svg(two_fpga_system)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_all_dies_labelled(self, two_fpga_system):
+        svg = render_svg(two_fpga_system)
+        for die in range(two_fpga_system.num_dies):
+            assert f">{die}</text>" in svg
+
+    def test_fpga_names_present(self, two_fpga_system):
+        svg = render_svg(two_fpga_system)
+        assert "fpga0" in svg and "fpga1" in svg
+
+    def test_edge_counts(self, two_fpga_system):
+        svg = render_svg(two_fpga_system)
+        assert svg.count("<line ") == len(two_fpga_system.sll_edges)
+        assert svg.count("<path ") == len(two_fpga_system.tdm_edges)
+
+    def test_solution_annotations(self, routed_result, two_fpga_system):
+        svg = render_svg(two_fpga_system, routed_result.solution)
+        assert "demand" in svg
+        assert "/" in svg
+
+    def test_heat_color_shifts_with_load(self):
+        from repro.report.svg import _heat_color
+
+        cold = _heat_color(0.0)
+        hot = _heat_color(1.0)
+        assert cold != hot
+        assert cold.startswith("#") and len(cold) == 7
+
+    def test_name_escaping(self):
+        from repro import SystemBuilder
+
+        builder = SystemBuilder()
+        builder.add_fpga(num_dies=1, name="a<b&c")
+        builder.add_fpga(num_dies=1, name="other")
+        builder.add_tdm_edge(0, 1, 4)
+        system = builder.build()
+        svg = render_svg(system)
+        ET.fromstring(svg)  # must stay well-formed despite hostile names
+        assert "a&lt;b&amp;c" in svg
+
+    def test_write_svg(self, two_fpga_system, tmp_path):
+        path = tmp_path / "system.svg"
+        write_svg(path, two_fpga_system)
+        assert path.read_text().startswith("<svg")

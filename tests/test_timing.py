@@ -1,0 +1,118 @@
+"""Unit tests for timing analysis."""
+
+import pytest
+
+from repro.netlist import Net, Netlist
+from repro.route.solution import RoutingSolution
+from repro.timing import DelayModel, TimingAnalyzer
+from tests.conftest import build_two_fpga_system
+
+
+@pytest.fixture
+def analyzed_case():
+    system = build_two_fpga_system()
+    netlist = Netlist(
+        [
+            Net("short", 0, (1,)),        # conn 0: 1 SLL hop
+            Net("cross", 2, (4,)),        # conn 1: SLL + TDM
+            Net("intra", 3, (3,)),        # no connection
+        ]
+    )
+    model = DelayModel()
+    solution = RoutingSolution(system, netlist)
+    solution.set_path(0, [0, 1])
+    solution.set_path(1, [2, 3, 4])
+    tdm = system.edge_between(3, 4).index
+    solution.set_ratio(1, tdm, 0, 16)
+    return system, netlist, model, solution
+
+
+class TestConnectionTiming:
+    def test_sll_only(self, analyzed_case):
+        system, netlist, model, solution = analyzed_case
+        analyzer = TimingAnalyzer(system, netlist, model)
+        timing = analyzer.connection_timing(solution, 0)
+        assert timing.delay == pytest.approx(0.5)
+        assert timing.num_sll_edges == 1
+        assert timing.num_tdm_edges == 0
+
+    def test_mixed_path(self, analyzed_case):
+        system, netlist, model, solution = analyzed_case
+        analyzer = TimingAnalyzer(system, netlist, model)
+        timing = analyzer.connection_timing(solution, 1)
+        assert timing.sll_delay == pytest.approx(0.5)
+        assert timing.tdm_delay == pytest.approx(2.0 + 0.5 * 16)
+        assert timing.delay == pytest.approx(10.5)
+
+    def test_missing_ratio_raises(self, analyzed_case):
+        system, netlist, model, solution = analyzed_case
+        solution.ratios.clear()
+        analyzer = TimingAnalyzer(system, netlist, model)
+        with pytest.raises(KeyError):
+            analyzer.connection_timing(solution, 1)
+
+    def test_assume_min_ratio(self, analyzed_case):
+        system, netlist, model, solution = analyzed_case
+        solution.ratios.clear()
+        analyzer = TimingAnalyzer(system, netlist, model)
+        timing = analyzer.connection_timing(solution, 1, assume_min_ratio=True)
+        assert timing.tdm_delay == pytest.approx(model.min_tdm_delay)
+
+
+class TestAnalyze:
+    def test_critical_delay(self, analyzed_case):
+        system, netlist, model, solution = analyzed_case
+        analyzer = TimingAnalyzer(system, netlist, model)
+        report = analyzer.analyze(solution)
+        assert report.critical_delay == pytest.approx(10.5)
+        assert report.critical_connection == 1
+        assert report.delays == [pytest.approx(0.5), pytest.approx(10.5)]
+
+    def test_net_worst_delay(self, analyzed_case):
+        system, netlist, model, solution = analyzed_case
+        analyzer = TimingAnalyzer(system, netlist, model)
+        report = analyzer.analyze(solution)
+        assert report.net_worst_delay[0] == pytest.approx(0.5)
+        assert report.net_worst_delay[1] == pytest.approx(10.5)
+        assert 2 not in report.net_worst_delay  # intra-die net
+
+    def test_empty_netlist(self):
+        system = build_two_fpga_system()
+        netlist = Netlist([])
+        analyzer = TimingAnalyzer(system, netlist, DelayModel())
+        report = analyzer.analyze(RoutingSolution(system, netlist))
+        assert report.critical_delay == 0.0
+        assert report.critical_connection == -1
+
+    def test_histogram_totals(self, analyzed_case):
+        system, netlist, model, solution = analyzed_case
+        analyzer = TimingAnalyzer(system, netlist, model)
+        report = analyzer.analyze(solution)
+        histogram = report.histogram(bins=5)
+        assert sum(histogram) == 2
+        assert histogram[-1] >= 1  # the critical connection in the top bin
+
+    def test_worst_connections_sorted(self, analyzed_case):
+        system, netlist, model, solution = analyzed_case
+        analyzer = TimingAnalyzer(system, netlist, model)
+        worst = analyzer.worst_connections(solution, count=2)
+        assert [t.connection_index for t in worst] == [1, 0]
+
+    def test_critical_delay_shortcut(self, analyzed_case):
+        system, netlist, model, solution = analyzed_case
+        analyzer = TimingAnalyzer(system, netlist, model)
+        assert analyzer.critical_delay(solution) == pytest.approx(10.5)
+
+    def test_slack(self, analyzed_case):
+        system, netlist, model, solution = analyzed_case
+        report = TimingAnalyzer(system, netlist, model).analyze(solution)
+        assert report.slack(1) == pytest.approx(0.0)  # the critical one
+        assert report.slack(0) == pytest.approx(10.0)
+
+    def test_near_critical(self, analyzed_case):
+        system, netlist, model, solution = analyzed_case
+        report = TimingAnalyzer(system, netlist, model).analyze(solution)
+        assert report.near_critical(0.0) == [1]
+        assert report.near_critical(100.0) == [0, 1]
+        with pytest.raises(ValueError):
+            report.near_critical(-1.0)

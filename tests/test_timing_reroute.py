@@ -1,0 +1,103 @@
+"""Unit tests for the timing-driven topology refiner."""
+
+import pytest
+
+from repro import DelayModel, Net, Netlist, RouterConfig
+from repro.arch.edges import TdmWire
+from repro.core.router import TdmAssigner
+from repro.core.timing_reroute import TimingDrivenRefiner
+from repro.route.solution import RoutingSolution
+from tests.conftest import build_two_fpga_system
+
+
+@pytest.fixture
+def system():
+    return build_two_fpga_system(sll_capacity=100, tdm_capacity=16)
+
+
+def assign_phase2(system, netlist, solution):
+    TdmAssigner(system, netlist, DelayModel()).assign(solution)
+    return solution
+
+
+class TestRefine:
+    def test_moves_detoured_critical_connection(self, system):
+        # A die-1 to die-2 connection deliberately routed the long way
+        # around through both TDM edges; the refiner must bring it back to
+        # the direct SLL edge.
+        netlist = Netlist([Net("a", 1, (2,))])
+        solution = RoutingSolution(system, netlist)
+        solution.set_path(0, [1, 0, 7, 6, 5, 4, 3, 2])
+        assign_phase2(system, netlist, solution)
+        refiner = TimingDrivenRefiner(system, netlist, DelayModel())
+        outcome = refiner.refine(solution)
+        assert outcome.solution is not None
+        assert outcome.moves == 1
+        assert outcome.solution.path(0) == (1, 2)
+
+    def test_no_move_when_already_optimal(self, system):
+        netlist = Netlist([Net("a", 1, (2,))])
+        solution = RoutingSolution(system, netlist)
+        solution.set_path(0, [1, 2])
+        assign_phase2(system, netlist, solution)
+        refiner = TimingDrivenRefiner(system, netlist, DelayModel())
+        outcome = refiner.refine(solution)
+        assert outcome.solution is None
+        assert outcome.moves == 0
+
+    def test_never_overflows_sll(self):
+        # Direct edge (1,2) is full with other nets; the detoured critical
+        # connection must NOT be moved onto it.
+        system = build_two_fpga_system(sll_capacity=1, tdm_capacity=16)
+        netlist = Netlist([Net("block", 1, (2,)), Net("a", 1, (2,))])
+        solution = RoutingSolution(system, netlist)
+        solution.set_path(0, [1, 2])                      # fills edge (1,2)
+        solution.set_path(1, [1, 0, 7, 6, 5, 4, 3, 2])    # detour
+        assign_phase2(system, netlist, solution)
+        refiner = TimingDrivenRefiner(system, netlist, DelayModel())
+        outcome = refiner.refine(solution)
+        if outcome.solution is not None:
+            assert outcome.solution.conflict_count() == 0
+
+    def test_refined_topology_has_no_ratios(self, system):
+        netlist = Netlist([Net("a", 1, (2,))])
+        solution = RoutingSolution(system, netlist)
+        solution.set_path(0, [1, 0, 7, 6, 5, 4, 3, 2])
+        assign_phase2(system, netlist, solution)
+        outcome = TimingDrivenRefiner(system, netlist, DelayModel()).refine(solution)
+        assert outcome.solution is not None
+        assert outcome.solution.ratios == {}
+        assert outcome.solution.wires == {}
+
+    def test_original_solution_untouched(self, system):
+        netlist = Netlist([Net("a", 1, (2,))])
+        solution = RoutingSolution(system, netlist)
+        original = [1, 0, 7, 6, 5, 4, 3, 2]
+        solution.set_path(0, original)
+        assign_phase2(system, netlist, solution)
+        TimingDrivenRefiner(system, netlist, DelayModel()).refine(solution)
+        assert solution.path(0) == tuple(original)
+
+    def test_empty_netlist(self, system):
+        netlist = Netlist([])
+        solution = RoutingSolution(system, netlist)
+        outcome = TimingDrivenRefiner(system, netlist, DelayModel()).refine(solution)
+        assert outcome.solution is None
+
+    def test_mean_wire_ratios_weighted_by_demand(self, system):
+        netlist = Netlist([Net(f"n{i}", 3, (4,)) for i in range(3)])
+        solution = RoutingSolution(system, netlist)
+        for i in range(3):
+            solution.set_path(i, [3, 4])
+        tdm = system.edge_between(3, 4).index
+        wire_a = TdmWire(edge_index=tdm, direction=0, ratio=8)
+        wire_a.add_net(0)
+        wire_a.add_net(1)
+        wire_b = TdmWire(edge_index=tdm, direction=0, ratio=32)
+        wire_b.add_net(2)
+        solution.wires[tdm] = [wire_a, wire_b]
+        refiner = TimingDrivenRefiner(system, netlist, DelayModel())
+        means = refiner._mean_wire_ratios(solution)
+        # Demand-weighted: (8*2 + 32*1) / 3 = 16.
+        assert means[(tdm, 0)] == pytest.approx(16.0)
+        assert (tdm, 1) not in means

@@ -1,0 +1,125 @@
+"""Unit and property tests for the greedy TDM wire assignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DelayModel, Net, Netlist, RouterConfig
+from repro.core.incidence import TdmIncidence
+from repro.core.initial_routing import InitialRouter
+from repro.core.lagrangian import LagrangianTdmAssigner
+from repro.core.legalization import TdmLegalizer
+from repro.core.wire_assignment import WireAssigner
+from tests.conftest import build_two_fpga_system, random_netlist
+
+
+def assigned_case(num_nets=50, tdm_capacity=8, seed=41):
+    system = build_two_fpga_system(tdm_capacity=tdm_capacity)
+    netlist = random_netlist(system, num_nets, seed=seed)
+    model = DelayModel()
+    config = RouterConfig()
+    solution = InitialRouter(system, netlist, model, config).route()
+    inc = TdmIncidence(system, netlist, solution, model)
+    lr = LagrangianTdmAssigner(inc, config).solve()
+    legal = TdmLegalizer(inc, config).legalize(lr.ratios)
+    stats = WireAssigner(inc, config).assign(
+        solution, legal.ratios, legal.wire_budgets, legal.criticality
+    )
+    return system, netlist, inc, solution, legal, stats
+
+
+class TestWireInvariants:
+    def test_wire_count_within_capacity(self):
+        system, netlist, inc, solution, legal, stats = assigned_case()
+        for edge_index, wires in solution.wires.items():
+            assert len(wires) <= system.edge(edge_index).capacity
+
+    def test_wire_demand_within_ratio(self):
+        system, netlist, inc, solution, legal, stats = assigned_case()
+        for wires in solution.wires.values():
+            for wire in wires:
+                assert 1 <= wire.demand <= wire.ratio
+
+    def test_wire_ratios_legal(self):
+        system, netlist, inc, solution, legal, stats = assigned_case()
+        model = DelayModel()
+        for wires in solution.wires.values():
+            for wire in wires:
+                assert model.is_legal_ratio(wire.ratio)
+
+    def test_every_use_gets_exactly_one_wire(self):
+        system, netlist, inc, solution, legal, stats = assigned_case()
+        for use in inc.uses:
+            assert use in solution.net_wire
+            net, edge_index, direction = use
+            position = solution.net_wire[use]
+            wire = solution.wires[edge_index][position]
+            assert wire.direction == direction
+            assert net in wire.net_indices
+
+    def test_net_ratio_equals_wire_ratio(self):
+        system, netlist, inc, solution, legal, stats = assigned_case()
+        for use, position in solution.net_wire.items():
+            net, edge_index, direction = use
+            wire = solution.wires[edge_index][position]
+            assert solution.ratios[use] == pytest.approx(wire.ratio)
+
+    def test_final_shrink_minimizes_wire_ratio(self):
+        system, netlist, inc, solution, legal, stats = assigned_case()
+        model = DelayModel()
+        for wires in solution.wires.values():
+            for wire in wires:
+                assert wire.ratio == model.legalize_ratio(wire.demand)
+
+
+class TestStats:
+    def test_counts(self):
+        system, netlist, inc, solution, legal, stats = assigned_case()
+        assert stats.nets_assigned == inc.num_pairs
+        assert stats.wires_used == sum(len(w) for w in solution.wires.values())
+
+
+class TestTightCapacity:
+    def test_overflow_bumps_fold_leftovers(self):
+        # Force many nets over a tiny TDM edge: wires run out and the
+        # fold-in path must still produce a legal assignment.
+        system = build_two_fpga_system(tdm_capacity=2, num_tdm_edges=1)
+        netlist = Netlist([Net(f"n{i}", 3, (4,)) for i in range(40)])
+        model = DelayModel()
+        config = RouterConfig()
+        solution = InitialRouter(system, netlist, model, config).route()
+        inc = TdmIncidence(system, netlist, solution, model)
+        lr = LagrangianTdmAssigner(inc, config).solve()
+        legal = TdmLegalizer(inc, config).legalize(lr.ratios)
+        WireAssigner(inc, config).assign(
+            solution, legal.ratios, legal.wire_budgets, legal.criticality
+        )
+        tdm = system.edge_between(3, 4).index
+        wires = solution.wires[tdm]
+        assert len(wires) <= 2
+        assert sum(wire.demand for wire in wires) == 40
+        for wire in wires:
+            assert wire.demand <= wire.ratio
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_nets=st.integers(min_value=2, max_value=60),
+    tdm_capacity=st.integers(min_value=2, max_value=32),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_property_wire_assignment_invariants(num_nets, tdm_capacity, seed):
+    system, netlist, inc, solution, legal, stats = assigned_case(
+        num_nets=num_nets, tdm_capacity=tdm_capacity, seed=seed
+    )
+    model = DelayModel()
+    for edge_index, wires in solution.wires.items():
+        assert len(wires) <= system.edge(edge_index).capacity
+        for wire in wires:
+            assert wire.demand <= wire.ratio
+            assert model.is_legal_ratio(wire.ratio)
+    # Exactly one wire per use, direction-consistent.
+    for use in inc.uses:
+        net, edge_index, direction = use
+        wire = solution.wires[edge_index][solution.net_wire[use]]
+        assert wire.direction == direction
