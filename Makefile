@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast examples suite clean
+.PHONY: install test bench bench-fast examples suite trace clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +24,20 @@ examples:
 table3:
 	$(PYTHON) -m pytest benchmarks/bench_table3_comparison.py --benchmark-only
 
+# Route a small generated case with full instrumentation on, then
+# schema-validate the run report (docs/observability.md).
+trace:
+	PYTHONPATH=src $(PYTHON) -m repro.cli.main --contest-case 2 \
+		--trace-out trace.jsonl --metrics-out run_report.json --log-level info
+	PYTHONPATH=src $(PYTHON) -c "\
+	import json; \
+	from repro.obs import assert_valid_run_report, read_jsonl; \
+	assert_valid_run_report(json.load(open('run_report.json'))); \
+	events = read_jsonl('trace.jsonl'); \
+	assert {e['type'] for e in events} >= {'span', 'counter', 'event'}, 'trace incomplete'; \
+	print(f'run report schema OK; {len(events)} trace events')"
+
 clean:
 	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info
+	rm -f trace.jsonl run_report.json BENCH_*.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -8,7 +8,12 @@ reproduce is IR >> TA > LG & WA.
 
 from __future__ import annotations
 
-from benchmarks.conftest import bench_case, register_report, selected_cases
+from benchmarks.conftest import (
+    bench_case,
+    record_bench_result,
+    register_report,
+    selected_cases,
+)
 from repro import SynergisticRouter
 
 
@@ -22,6 +27,20 @@ def test_fig5b_runtime_breakdown(benchmark):
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     fractions = result.phase_times.fractions()
     times = result.phase_times
+    record_bench_result(
+        "fig5b",
+        name,
+        wall_time_s=times.total,
+        critical_delay=result.critical_delay,
+        conflicts=result.conflict_count,
+        ir_seconds=times.initial_routing,
+        ta_seconds=times.tdm_assignment,
+        lgwa_seconds=times.legalization_wire_assignment,
+        lr_iterations=result.lr_history.num_iterations if result.lr_history else 0,
+        negotiation_rounds=(
+            result.initial_stats.negotiation_rounds if result.initial_stats else 0
+        ),
+    )
     register_report(
         "Fig. 5(b): runtime breakdown",
         [

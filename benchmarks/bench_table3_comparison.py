@@ -15,7 +15,12 @@ from typing import Dict, Tuple
 
 import pytest
 
-from benchmarks.conftest import bench_case, register_report, selected_cases
+from benchmarks.conftest import (
+    bench_case,
+    record_bench_result,
+    register_report,
+    selected_cases,
+)
 from repro import SynergisticRouter
 from repro.baselines import all_baseline_routers
 
@@ -52,6 +57,21 @@ def test_route(benchmark, router_name, case_name):
         result.critical_delay,
         result.conflict_count,
         elapsed,
+    )
+    lr_history = getattr(result, "lr_history", None)
+    initial_stats = getattr(result, "initial_stats", None)
+    record_bench_result(
+        "table3",
+        case_name,
+        router=router_name,
+        wall_time_s=elapsed,
+        critical_delay=result.critical_delay,
+        conflicts=result.conflict_count,
+        lr_iterations=lr_history.num_iterations if lr_history else 0,
+        negotiation_rounds=(
+            initial_stats.negotiation_rounds if initial_stats else None
+        ),
+        timing_reroute_moves=getattr(result, "timing_reroute_moves", 0),
     )
     assert result.solution.is_complete
 

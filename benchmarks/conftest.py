@@ -7,16 +7,23 @@ Environment knobs:
 * ``REPRO_BENCH_SCALE`` — scale override applied to *every* case (e.g.
   ``1.0`` to attempt the full Table II sizes; expect long runtimes).
 * ``REPRO_BENCH_ROUTERS`` — comma-separated router subset for Table III.
+* ``REPRO_BENCH_OUT`` — directory receiving the machine-readable
+  ``BENCH_<name>.json`` result files (default: current directory).
 
 Each benchmark registers a human-readable result table that is printed in
 the terminal summary, so ``pytest benchmarks/ --benchmark-only`` emits the
-paper-style tables alongside the timing statistics.
+paper-style tables alongside the timing statistics.  Benchmarks that
+route cases additionally record structured rows via
+:func:`record_bench_result`; at session end each benchmark's rows land in
+``BENCH_<name>.json`` so the perf trajectory can be diffed across commits.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
 
 import pytest
 
@@ -25,10 +32,64 @@ from repro.benchgen import case_names, load_case
 #: Report blocks printed at session end, in insertion order.
 REPORTS: Dict[str, List[str]] = {}
 
+#: Structured benchmark rows, keyed by bench name, written at session end.
+BENCH_RESULTS: Dict[str, List[Dict[str, Any]]] = {}
+
+#: Schema version of the ``BENCH_<name>.json`` files.
+BENCH_SCHEMA_VERSION = 1
+
 
 def register_report(title: str, lines: List[str]) -> None:
     """Register (or extend) a report block for the terminal summary."""
     REPORTS.setdefault(title, []).extend(lines)
+
+
+def record_bench_result(bench: str, case: str, **fields: Any) -> None:
+    """Record one machine-readable benchmark row.
+
+    Args:
+        bench: benchmark name; rows land in ``BENCH_<bench>.json``.
+        case: contest case name (every row carries its case).
+        **fields: numeric/string payload — wall time, critical delay,
+            conflict count, iteration counts, ...
+    """
+    row: Dict[str, Any] = {"case": case}
+    row.update(fields)
+    BENCH_RESULTS.setdefault(bench, []).append(row)
+
+
+def write_bench_results(
+    out_dir: Path, results: Optional[Mapping[str, List[Dict[str, Any]]]] = None
+) -> List[Path]:
+    """Write one ``BENCH_<name>.json`` per recorded benchmark.
+
+    Args:
+        out_dir: destination directory (created if missing).
+        results: rows to write; defaults to the session's global
+            :data:`BENCH_RESULTS`.
+
+    Returns:
+        The paths written (empty when nothing was recorded).
+    """
+    rows_by_bench = BENCH_RESULTS if results is None else results
+    written: List[Path] = []
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for bench, rows in rows_by_bench.items():
+        path = out_dir / f"BENCH_{bench}.json"
+        payload = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "bench": bench,
+            "scale": bench_scale(),
+            "results": rows,
+        }
+        path.write_text(json.dumps(payload, indent=1))
+        written.append(path)
+    return written
+
+
+def pytest_sessionfinish(session, exitstatus):
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
+    write_bench_results(out_dir)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -36,6 +97,12 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         terminalreporter.write_sep("=", title)
         for line in lines:
             terminalreporter.write_line(line)
+    if BENCH_RESULTS:
+        out_dir = os.environ.get("REPRO_BENCH_OUT", ".")
+        terminalreporter.write_line(
+            f"machine-readable results: BENCH_<name>.json in {out_dir!r} "
+            f"for {', '.join(sorted(BENCH_RESULTS))}"
+        )
 
 
 def selected_cases() -> List[str]:

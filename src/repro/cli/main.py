@@ -88,6 +88,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the feasibility analysis first; abort on an impossibility proof",
     )
     parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="stream instrumentation events (spans, counters, per-iteration "
+        "telemetry) to this JSONL file",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the schema-versioned JSON run report to this file",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        help="enable structured progress logs on stderr at this level",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress the per-phase report"
     )
     return parser
@@ -108,6 +124,17 @@ def _resolve_router(name: str):
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        from repro.obs import configure_logging
+
+        configure_logging(args.log_level)
+    sink = None
+    tracer = None
+    if args.trace_out or args.metrics_out:
+        from repro.obs import JsonlSink, Tracer
+
+        sink = JsonlSink(args.trace_out) if args.trace_out else None
+        tracer = Tracer(sink)
     if args.case_file:
         system, netlist, delay_model = parse_case_file(args.case_file)
     else:
@@ -140,9 +167,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"  {row}")
     elif baseline_cls is None:
         config = RouterConfig(num_workers=args.workers)
-        result = SynergisticRouter(system, netlist, delay_model, config).route()
+        result = SynergisticRouter(
+            system, netlist, delay_model, config, tracer=tracer
+        ).route()
     else:
         result = baseline_cls(system, netlist, delay_model).route()
+    if sink is not None:
+        sink.close()
 
     if not args.quiet:
         print(f"router             : {args.router}")
@@ -167,6 +198,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             for violation in report.violations[:20]:
                 print(f"  {violation}")
             return 1
+    if args.trace_out and not args.quiet:
+        print(f"trace written      : {args.trace_out}")
+    if args.metrics_out:
+        from repro.obs import write_run_report
+
+        write_run_report(
+            args.metrics_out,
+            result,
+            case={
+                "source": args.case_file or args.contest_case,
+                "router": args.router,
+                "nets": netlist.num_nets,
+                "connections": netlist.num_connections,
+            },
+        )
+        if not args.quiet:
+            print(f"run report written : {args.metrics_out}")
     if args.summary_json:
         from repro.report import write_summary_json
 

@@ -22,10 +22,13 @@ from repro.core.cost import EdgeCostModel
 from repro.core.ordering import estimate_edge_weights, floyd_warshall, order_connections
 from repro.core.pathfinder import NegotiationState
 from repro.netlist.netlist import Netlist
-from repro.route.dijkstra import dijkstra_path
+from repro.obs import Tracer, get_logger
+from repro.route.dijkstra import SearchStats, dijkstra_path
 from repro.route.graph import RoutingGraph
 from repro.route.solution import RoutingSolution
 from repro.timing.delay import DelayModel
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -49,69 +52,112 @@ class InitialRouter:
         netlist: Netlist,
         delay_model: Optional[DelayModel] = None,
         config: Optional[RouterConfig] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         netlist.validate_against(system.num_dies)
         self.system = system
         self.netlist = netlist
         self.delay_model = delay_model if delay_model is not None else DelayModel()
         self.config = config if config is not None else RouterConfig()
+        self.tracer = tracer if tracer is not None else Tracer()
         self.stats = InitialRoutingStats()
+        self._search = SearchStats()
 
     def route(self) -> RoutingSolution:
         """Produce an overlap-free (when feasible) routing topology."""
         netlist = self.netlist
-        graph = RoutingGraph(self.system)
-        weights = estimate_edge_weights(graph, netlist, self.config.weight_mode)
-        self.stats.weight_mode = (
-            "delay" if weights[graph.is_tdm].max(initial=0) > 1 else "congestion"
-        )
-        dist = floyd_warshall(graph, weights)
-        order = order_connections(netlist, dist)
-        rank = {conn_index: pos for pos, conn_index in enumerate(order)}
+        tracer = self.tracer
+        with tracer.span("ir.prepare"):
+            graph = RoutingGraph(self.system)
+            weights = estimate_edge_weights(graph, netlist, self.config.weight_mode)
+            self.stats.weight_mode = (
+                "delay" if weights[graph.is_tdm].max(initial=0) > 1 else "congestion"
+            )
+            dist = floyd_warshall(graph, weights)
+            order = order_connections(netlist, dist)
+            rank = {conn_index: pos for pos, conn_index in enumerate(order)}
 
         state = NegotiationState(graph)
         cost_model = EdgeCostModel(graph, self.delay_model, self.config, weights)
         paths: List[Optional[List[int]]] = [None] * netlist.num_connections
 
-        order = self._steiner_first_pass(order, graph, state, cost_model, paths)
-        if self.config.initial_batch_size:
-            self._batched_first_pass(order, graph, state, cost_model, paths)
-        else:
-            for conn_index in order:
-                paths[conn_index] = self._route_connection(
-                    conn_index, graph, state, cost_model
-                )
-                self.stats.connections_routed += 1
+        with tracer.span("ir.first_pass"):
+            order = self._steiner_first_pass(order, graph, state, cost_model, paths)
+            if self.config.initial_batch_size:
+                self._batched_first_pass(order, graph, state, cost_model, paths)
+            else:
+                for conn_index in order:
+                    paths[conn_index] = self._route_connection(
+                        conn_index, graph, state, cost_model
+                    )
+                    self.stats.connections_routed += 1
 
         net_weight = self._net_routing_weights(dist)
-        for round_index in range(self.config.max_reroute_iterations):
-            overflowed = state.overflowed_sll_edges()
-            self.stats.history.append(state.total_overflow())
-            if not overflowed:
-                break
-            self.stats.negotiation_rounds = round_index + 1
-            cost_model.add_history(overflowed)
-            victim_nets = self._select_victims(state, overflowed, net_weight)
-            victim_conns = sorted(
-                (
-                    conn_index
-                    for net_index in victim_nets
-                    for conn_index in netlist.connection_indices_of(net_index)
-                    if paths[conn_index] is not None
-                ),
-                key=lambda conn_index: rank[conn_index],
-            )
-            for conn_index in victim_conns:
-                conn = netlist.connections[conn_index]
-                state.remove_path(conn.net_index, paths[conn_index])
-                paths[conn_index] = None
-            for conn_index in victim_conns:
-                paths[conn_index] = self._route_connection(
-                    conn_index, graph, state, cost_model
+        with tracer.span("ir.negotiation"):
+            for round_index in range(self.config.max_reroute_iterations):
+                overflowed = state.overflowed_sll_edges()
+                overflow = state.total_overflow()
+                self.stats.history.append(overflow)
+                if tracer.enabled:
+                    tracer.event(
+                        "ir.iteration",
+                        iteration=round_index,
+                        overflow=overflow,
+                        overflowed_edges=len(overflowed),
+                        overuse_histogram=state.overuse_histogram(),
+                    )
+                if not overflowed:
+                    break
+                self.stats.negotiation_rounds = round_index + 1
+                cost_model.add_history(overflowed)
+                victim_nets = self._select_victims(state, overflowed, net_weight)
+                victim_conns = sorted(
+                    (
+                        conn_index
+                        for net_index in victim_nets
+                        for conn_index in netlist.connection_indices_of(net_index)
+                        if paths[conn_index] is not None
+                    ),
+                    key=lambda conn_index: rank[conn_index],
                 )
-                self.stats.reroutes += 1
+                logger.debug(
+                    "negotiation round %d: overflow %d on %d edges, "
+                    "ripping %d nets (%d connections)",
+                    round_index,
+                    overflow,
+                    len(overflowed),
+                    len(victim_nets),
+                    len(victim_conns),
+                )
+                tracer.add("ir.ripped_nets", len(victim_nets))
+                tracer.add("ir.ripped_connections", len(victim_conns))
+                for conn_index in victim_conns:
+                    conn = netlist.connections[conn_index]
+                    state.remove_path(conn.net_index, paths[conn_index])
+                    paths[conn_index] = None
+                for conn_index in victim_conns:
+                    paths[conn_index] = self._route_connection(
+                        conn_index, graph, state, cost_model
+                    )
+                    self.stats.reroutes += 1
 
         self.stats.final_overflow = state.total_overflow()
+        tracer.add("ir.connections_routed", self.stats.connections_routed)
+        tracer.add("ir.reroutes", self.stats.reroutes)
+        tracer.add("dijkstra.searches", self._search.searches)
+        tracer.add("dijkstra.pops", self._search.pops)
+        tracer.add("dijkstra.relaxations", self._search.relaxations)
+        tracer.gauge("ir.negotiation_rounds", self.stats.negotiation_rounds)
+        tracer.gauge("ir.final_overflow", self.stats.final_overflow)
+        logger.info(
+            "phase I done: %d connections, %d reroutes over %d rounds, "
+            "final overflow %d (%s weights)",
+            self.stats.connections_routed,
+            self.stats.reroutes,
+            self.stats.negotiation_rounds,
+            self.stats.final_overflow,
+            self.stats.weight_mode,
+        )
 
         solution = RoutingSolution(self.system, netlist)
         for conn_index, path in enumerate(paths):
@@ -202,7 +248,9 @@ class InitialRouter:
             for conn_index in wave:
                 source = netlist.connections[conn_index].source_die
                 if source not in trees:
-                    _, prev = dijkstra_all(graph.adjacency, source, edge_cost)
+                    _, prev = dijkstra_all(
+                        graph.adjacency, source, edge_cost, stats=self._search
+                    )
                     trees[source] = prev
             for conn_index in wave:
                 conn = netlist.connections[conn_index]
@@ -264,7 +312,13 @@ class InitialRouter:
         def edge_cost(edge_index: int, frm: int, to: int) -> float:
             return cost(edge_index, demand[edge_index], edge_index in net_edges)
 
-        path = dijkstra_path(graph.adjacency, conn.source_die, conn.sink_die, edge_cost)
+        path = dijkstra_path(
+            graph.adjacency,
+            conn.source_die,
+            conn.sink_die,
+            edge_cost,
+            stats=self._search,
+        )
         if path is None:
             raise RuntimeError(
                 f"connection {conn_index} (die {conn.source_die} -> "

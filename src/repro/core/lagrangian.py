@@ -23,9 +23,12 @@ import numpy as np
 
 from repro.core.config import RouterConfig
 from repro.core.incidence import TdmIncidence
+from repro.obs import Tracer, get_logger
 
 _LAMBDA_FLOOR = 1e-16
 _ETA_FLOOR = 1e-30
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -75,6 +78,9 @@ class LagrangianTdmAssigner:
         min_ratio: lower clamp on continuous ratios.  Clamping a ratio *up*
             only decreases ``Σ 1/r``, so edge capacity constraints are
             preserved.
+        tracer: optional obs tracer; each iteration emits an
+            ``lr.iteration`` event (gap, bounds, acceleration, ‖λ‖) when a
+            sink is attached.
     """
 
     def __init__(
@@ -83,9 +89,11 @@ class LagrangianTdmAssigner:
         config: Optional[RouterConfig] = None,
         min_ratio: float = 1.0,
         update: str = "accelerated",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.incidence = incidence
         self.config = config if config is not None else RouterConfig()
+        self.tracer = tracer if tracer is not None else Tracer()
         if min_ratio <= 0:
             raise ValueError("min_ratio must be positive")
         if update not in ("accelerated", "subgradient"):
@@ -152,6 +160,16 @@ class LagrangianTdmAssigner:
                     acceleration=acceleration,
                 )
             )
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "lr.iteration",
+                    iteration=iteration,
+                    critical_delay=critical,
+                    lower_bound=lower_bound,
+                    gap=gap,
+                    acceleration=acceleration,
+                    lambda_norm=float(np.linalg.norm(lam)),
+                )
             if critical < best_delay:
                 best_delay = critical
                 best_ratios = ratios
@@ -187,6 +205,16 @@ class LagrangianTdmAssigner:
             lam /= lam.sum()
 
         assert best_ratios is not None and best_delays is not None
+        self.tracer.add("lr.iterations", history.num_iterations)
+        self.tracer.gauge("lr.final_gap", history.final_gap)
+        self.tracer.gauge("lr.converged", 1.0 if history.converged else 0.0)
+        logger.info(
+            "LR %s after %d iterations: best delay %.3f, final gap %.2e",
+            "converged" if history.converged else "hit the iteration cap",
+            history.num_iterations,
+            history.best_delay,
+            history.final_gap,
+        )
         return LrResult(
             ratios=best_ratios,
             connection_delays=best_delays,

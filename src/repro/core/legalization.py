@@ -28,7 +28,10 @@ import numpy as np
 
 from repro.core.config import RouterConfig
 from repro.core.incidence import TdmIncidence
+from repro.obs import Tracer, get_logger
 from repro.parallel import ParallelExecutor
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -58,10 +61,12 @@ class TdmLegalizer:
         incidence: TdmIncidence,
         config: Optional[RouterConfig] = None,
         executor: Optional[ParallelExecutor] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.incidence = incidence
         self.config = config if config is not None else RouterConfig()
         self.executor = executor if executor is not None else ParallelExecutor(1)
+        self.tracer = tracer if tracer is not None else Tracer()
 
     # ------------------------------------------------------------------
     def legalize(self, continuous_ratios: np.ndarray) -> LegalizationResult:
@@ -89,6 +94,19 @@ class TdmLegalizer:
                 ),
                 tasks,
             )
+        )
+        tracer = self.tracer
+        tracer.add("legalization.refinement_steps", steps)
+        tracer.add("legalization.directed_edges", len(tasks))
+        # The post-refinement margin per directed edge (Algorithm 2's
+        # leftover slack) — the Fig.-style histogram in the run report.
+        for pairs, budget in tasks:
+            margin = budget - float(np.sum(1.0 / ratios[pairs]))
+            tracer.observe("legalization.margin", margin)
+        logger.info(
+            "legalization: %d refinement steps over %d directed edges",
+            steps,
+            len(tasks),
         )
         return LegalizationResult(
             ratios=ratios,

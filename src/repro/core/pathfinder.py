@@ -92,6 +92,21 @@ class NegotiationState:
             for e in graph.sll_edge_indices
         )
 
+    def overuse_histogram(self) -> Dict[int, int]:
+        """Histogram of SLL overuse: overuse value -> number of edges.
+
+        Only overflowed edges appear (overuse ``>= 1``); an empty dict
+        means the topology is legal.  Cheap enough to emit once per
+        negotiation round as telemetry.
+        """
+        histogram: Dict[int, int] = {}
+        graph = self.graph
+        for edge_index in graph.sll_edge_indices:
+            over = self.demand[int(edge_index)] - int(graph.capacity[edge_index])
+            if over > 0:
+                histogram[over] = histogram.get(over, 0) + 1
+        return histogram
+
     def _edge_of(self, frm: int, to: int) -> int:
         edge = self.graph.system.edge_between(frm, to)
         if edge is None:

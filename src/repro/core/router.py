@@ -4,9 +4,8 @@ phase II assigner used to refine foreign topologies (Fig. 5(a))."""
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.core.config import RouterConfig
 from repro.core.incidence import TdmIncidence
@@ -16,15 +15,27 @@ from repro.core.legalization import TdmLegalizer
 from repro.core.wire_assignment import WireAssigner, WireAssignmentStats
 from repro.arch.system import MultiFpgaSystem
 from repro.netlist.netlist import Netlist
+from repro.obs import TelemetrySnapshot, Tracer, get_logger
 from repro.parallel import ParallelExecutor
 from repro.route.solution import RoutingSolution
 from repro.timing.analysis import TimingAnalyzer, TimingReport
 from repro.timing.delay import DelayModel
 
+logger = get_logger(__name__)
+
+#: Span names of the three Fig. 5(b) phases (obs timer keys).
+PHASE_IR = "phase.initial_routing"
+PHASE_TA = "phase.tdm_assignment"
+PHASE_LGWA = "phase.legalization_wire_assignment"
+
 
 @dataclass
 class PhaseTimes:
     """Wall-clock seconds per phase (the Fig. 5(b) breakdown).
+
+    Since the obs layer landed this is a *derived view*: the router
+    accumulates the phases as :mod:`repro.obs` spans (``phase.*`` timer
+    keys) and projects them into this dataclass via :meth:`from_tracer`.
 
     Attributes:
         initial_routing: phase I (IR).
@@ -36,6 +47,26 @@ class PhaseTimes:
     initial_routing: float = 0.0
     tdm_assignment: float = 0.0
     legalization_wire_assignment: float = 0.0
+
+    @classmethod
+    def from_tracer(
+        cls,
+        tracer: Tracer,
+        baseline: Optional[Tuple[float, float, float]] = None,
+    ) -> "PhaseTimes":
+        """Project a tracer's ``phase.*`` span timers into phase times.
+
+        Args:
+            tracer: the tracer the router instrumented its phases on.
+            baseline: timer values ``(IR, TA, LG&WA)`` captured before the
+                run, subtracted so a re-used tracer yields per-run times.
+        """
+        base = baseline if baseline is not None else (0.0, 0.0, 0.0)
+        return cls(
+            initial_routing=tracer.timer(PHASE_IR) - base[0],
+            tdm_assignment=tracer.timer(PHASE_TA) - base[1],
+            legalization_wire_assignment=tracer.timer(PHASE_LGWA) - base[2],
+        )
 
     @property
     def total(self) -> float:
@@ -72,6 +103,9 @@ class RoutingResult:
             skipped because no net crosses a TDM edge).
         initial_stats: phase I diagnostics.
         wire_stats: wire-assignment counters.
+        telemetry: aggregate obs metrics of the run (counters, gauges,
+            span timers, histograms); serialized into the run report by
+            :func:`repro.obs.build_run_report`.
     """
 
     solution: RoutingSolution
@@ -83,6 +117,7 @@ class RoutingResult:
     initial_stats: Optional[InitialRoutingStats] = None
     wire_stats: Optional[WireAssignmentStats] = None
     timing_reroute_moves: int = 0
+    telemetry: Optional[TelemetrySnapshot] = None
 
     @property
     def is_legal(self) -> bool:
@@ -103,11 +138,13 @@ class TdmAssigner:
         netlist: Netlist,
         delay_model: Optional[DelayModel] = None,
         config: Optional[RouterConfig] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.system = system
         self.netlist = netlist
         self.delay_model = delay_model if delay_model is not None else DelayModel()
         self.config = config if config is not None else RouterConfig()
+        self.tracer = tracer if tracer is not None else Tracer()
 
     def _executor(self) -> ParallelExecutor:
         workers = self.config.num_workers
@@ -117,7 +154,7 @@ class TdmAssigner:
                 workers = min(10, os.cpu_count() or 1)
             else:
                 workers = 1
-        return ParallelExecutor(workers)
+        return ParallelExecutor(workers, tracer=self.tracer)
 
     def assign(self, solution: RoutingSolution) -> Optional[LrHistory]:
         """Assign ratios and wires in place; returns the LR history."""
@@ -128,19 +165,22 @@ class TdmAssigner:
         self, solution: RoutingSolution
     ) -> "tuple[Optional[LrHistory], Optional[WireAssignmentStats]]":
         """Like :meth:`assign` but also returns wire-assignment counters."""
+        tracer = self.tracer
         incidence = TdmIncidence(self.system, self.netlist, solution, self.delay_model)
         if incidence.num_pairs == 0:
             return None, None
         executor = self._executor()
-        lr = LagrangianTdmAssigner(incidence, self.config)
-        lr_result = lr.solve()
-        legalizer = TdmLegalizer(incidence, self.config, executor)
-        legal = legalizer.legalize(lr_result.ratios)
-        incidence.write_ratios(solution, legal.ratios)
-        assigner = WireAssigner(incidence, self.config, executor)
-        stats = assigner.assign(
-            solution, legal.ratios, legal.wire_budgets, legal.criticality
-        )
+        with tracer.span(PHASE_TA):
+            lr = LagrangianTdmAssigner(incidence, self.config, tracer=tracer)
+            lr_result = lr.solve()
+        with tracer.span(PHASE_LGWA):
+            legalizer = TdmLegalizer(incidence, self.config, executor, tracer=tracer)
+            legal = legalizer.legalize(lr_result.ratios)
+            incidence.write_ratios(solution, legal.ratios)
+            assigner = WireAssigner(incidence, self.config, executor, tracer=tracer)
+            stats = assigner.assign(
+                solution, legal.ratios, legal.wire_budgets, legal.criticality
+            )
         return lr_result.history, stats
 
 
@@ -152,6 +192,9 @@ class SynergisticRouter:
         netlist: the die-level partitioned design.
         delay_model: delay constants (defaults match DESIGN.md).
         config: tuning knobs for both phases.
+        tracer: obs tracer receiving spans, counters and per-iteration
+            events; defaults to a fresh null-sink tracer so an
+            uninstrumented run pays one attribute check per hot call site.
     """
 
     def __init__(
@@ -160,23 +203,33 @@ class SynergisticRouter:
         netlist: Netlist,
         delay_model: Optional[DelayModel] = None,
         config: Optional[RouterConfig] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         netlist.validate_against(system.num_dies)
         self.system = system
         self.netlist = netlist
         self.delay_model = delay_model if delay_model is not None else DelayModel()
         self.config = config if config is not None else RouterConfig()
+        self.tracer = tracer if tracer is not None else Tracer()
 
     def route(self) -> RoutingResult:
         """Run both phases (plus the timing-driven outer loop)."""
-        times = PhaseTimes()
+        tracer = self.tracer
+        # Timer values before the run: route() may be called repeatedly on
+        # one tracer, and PhaseTimes must cover this run only.
+        baseline = (
+            tracer.timer(PHASE_IR),
+            tracer.timer(PHASE_TA),
+            tracer.timer(PHASE_LGWA),
+        )
 
-        start = time.perf_counter()
-        initial = InitialRouter(self.system, self.netlist, self.delay_model, self.config)
-        solution = initial.route()
-        times.initial_routing = time.perf_counter() - start
+        with tracer.span(PHASE_IR):
+            initial = InitialRouter(
+                self.system, self.netlist, self.delay_model, self.config, tracer=tracer
+            )
+            solution = initial.route()
 
-        lr_history, wire_stats, multipliers = self._run_phase2(solution, times)
+        lr_history, wire_stats, multipliers = self._run_phase2(solution)
         analyzer = TimingAnalyzer(self.system, self.netlist, self.delay_model)
         timing = analyzer.analyze(solution)
 
@@ -189,27 +242,33 @@ class SynergisticRouter:
             refiner = TimingDrivenRefiner(
                 self.system, self.netlist, self.delay_model, self.config
             )
-            for _ in range(self.config.timing_reroute_rounds):
-                start = time.perf_counter()
-                outcome = refiner.refine(solution)
-                refine_time = time.perf_counter() - start
+            for round_index in range(self.config.timing_reroute_rounds):
+                # The refinement search counts as initial-routing work, so
+                # it accumulates into the same phase timer.
+                with tracer.span(PHASE_IR, kind="timing_reroute"):
+                    outcome = refiner.refine(solution)
                 if outcome.solution is None:
                     break
                 candidate = outcome.solution
-                candidate_times = PhaseTimes()
                 # The previous round's multipliers warm-start the re-solve:
                 # the topology barely changed, so λ is nearly right already.
                 cand_lr, cand_wires, cand_multipliers = self._run_phase2(
-                    candidate, candidate_times, warm_start=multipliers
+                    candidate, warm_start=multipliers
                 )
                 cand_timing = analyzer.analyze(candidate)
-                # The refinement search counts as initial-routing work.
-                times.initial_routing += refine_time
-                times.tdm_assignment += candidate_times.tdm_assignment
-                times.legalization_wire_assignment += (
-                    candidate_times.legalization_wire_assignment
+                improved = (
+                    cand_timing.critical_delay < timing.critical_delay - 1e-9
                 )
-                if cand_timing.critical_delay < timing.critical_delay - 1e-9:
+                if tracer.enabled:
+                    tracer.event(
+                        "timing_reroute.round",
+                        round=round_index,
+                        moves=outcome.moves,
+                        candidate_delay=cand_timing.critical_delay,
+                        incumbent_delay=timing.critical_delay,
+                        accepted=improved,
+                    )
+                if improved:
                     solution = candidate
                     timing = cand_timing
                     lr_history = cand_lr if cand_lr is not None else lr_history
@@ -220,46 +279,66 @@ class SynergisticRouter:
                     moves += outcome.moves
                 else:
                     break
+        tracer.add("timing_reroute.moves", moves)
 
+        times = PhaseTimes.from_tracer(tracer, baseline)
+        conflict_count = solution.conflict_count()
+        logger.info(
+            "routing done: critical delay %.3f, %d conflicts, "
+            "%.2fs (IR %.2fs, TA %.2fs, LG&WA %.2fs)",
+            timing.critical_delay,
+            conflict_count,
+            times.total,
+            times.initial_routing,
+            times.tdm_assignment,
+            times.legalization_wire_assignment,
+        )
         return RoutingResult(
             solution=solution,
             critical_delay=timing.critical_delay,
-            conflict_count=solution.conflict_count(),
+            conflict_count=conflict_count,
             phase_times=times,
             timing=timing,
             lr_history=lr_history,
             initial_stats=initial.stats,
             wire_stats=wire_stats,
             timing_reroute_moves=moves,
+            telemetry=tracer.snapshot(),
         )
 
     def _run_phase2(
         self,
         solution: RoutingSolution,
-        times: PhaseTimes,
         warm_start=None,
     ) -> "tuple[Optional[LrHistory], Optional[WireAssignmentStats], object]":
         """LR + legalization + wire assignment on one topology.
 
+        Each stage runs under its phase span (``phase.tdm_assignment`` /
+        ``phase.legalization_wire_assignment``), so repeated calls from
+        the timing-driven loop accumulate into the same phase timers.
+
         Returns the LR history, wire stats and the final multipliers (a
         warm start for the next timing-reroute round).
         """
-        assigner = TdmAssigner(self.system, self.netlist, self.delay_model, self.config)
+        tracer = self.tracer
+        assigner = TdmAssigner(
+            self.system, self.netlist, self.delay_model, self.config, tracer=tracer
+        )
         incidence = TdmIncidence(self.system, self.netlist, solution, self.delay_model)
         if not incidence.num_pairs:
             return None, None, None
         executor = assigner._executor()
-        start = time.perf_counter()
-        lr_result = LagrangianTdmAssigner(incidence, self.config).solve(
-            warm_start=warm_start
-        )
-        times.tdm_assignment += time.perf_counter() - start
+        with tracer.span(PHASE_TA):
+            lr_result = LagrangianTdmAssigner(
+                incidence, self.config, tracer=tracer
+            ).solve(warm_start=warm_start)
 
-        start = time.perf_counter()
-        legal = TdmLegalizer(incidence, self.config, executor).legalize(lr_result.ratios)
-        incidence.write_ratios(solution, legal.ratios)
-        wire_stats = WireAssigner(incidence, self.config, executor).assign(
-            solution, legal.ratios, legal.wire_budgets, legal.criticality
-        )
-        times.legalization_wire_assignment += time.perf_counter() - start
+        with tracer.span(PHASE_LGWA):
+            legal = TdmLegalizer(
+                incidence, self.config, executor, tracer=tracer
+            ).legalize(lr_result.ratios)
+            incidence.write_ratios(solution, legal.ratios)
+            wire_stats = WireAssigner(
+                incidence, self.config, executor, tracer=tracer
+            ).assign(solution, legal.ratios, legal.wire_budgets, legal.criticality)
         return lr_result.history, wire_stats, lr_result.multipliers

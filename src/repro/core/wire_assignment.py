@@ -21,8 +21,11 @@ import numpy as np
 from repro.arch.edges import TdmWire
 from repro.core.config import RouterConfig
 from repro.core.incidence import TdmIncidence
+from repro.obs import Tracer, get_logger
 from repro.parallel import ParallelExecutor
 from repro.route.solution import RoutingSolution
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -43,10 +46,12 @@ class WireAssigner:
         incidence: TdmIncidence,
         config: Optional[RouterConfig] = None,
         executor: Optional[ParallelExecutor] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.incidence = incidence
         self.config = config if config is not None else RouterConfig()
         self.executor = executor if executor is not None else ParallelExecutor(1)
+        self.tracer = tracer if tracer is not None else Tracer()
 
     # ------------------------------------------------------------------
     def assign(
@@ -85,6 +90,7 @@ class WireAssigner:
             return wires
 
         per_edge_wires = self.executor.map(build, edges)
+        tracer = self.tracer
         for edge_index, wires in zip(edges, per_edge_wires):
             solution.wires[edge_index] = wires
             for position, wire in enumerate(wires):
@@ -93,6 +99,26 @@ class WireAssigner:
                     solution.net_wire[use] = position
                     solution.ratios[use] = float(wire.ratio)
             stats.wires_used += len(wires)
+            for direction in (0, 1):
+                budget = wire_budgets.get((edge_index, direction))
+                if not budget:
+                    continue
+                used = sum(1 for wire in wires if wire.direction == direction)
+                tracer.observe(
+                    f"wire_assignment.utilization.dir{direction}", used / budget
+                )
+        tracer.add("wire_assignment.wires_used", stats.wires_used)
+        tracer.add("wire_assignment.nets_assigned", stats.nets_assigned)
+        tracer.add("wire_assignment.overflow_bumps", stats.overflow_bumps)
+        tracer.add("wire_assignment.critical_moves", stats.critical_moves)
+        logger.info(
+            "wire assignment: %d nets on %d wires (%d overflow bumps, "
+            "%d critical moves)",
+            stats.nets_assigned,
+            stats.wires_used,
+            stats.overflow_bumps,
+            stats.critical_moves,
+        )
         return stats
 
     # ------------------------------------------------------------------

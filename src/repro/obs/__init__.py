@@ -1,0 +1,62 @@
+"""Observability layer: spans, metrics, trace sinks, logs, run reports.
+
+Dependency-free instrumentation substrate for the whole routing flow
+(ISSUE 1).  The pieces:
+
+* :class:`Tracer` (:mod:`repro.obs.tracer`) — nestable monotonic spans
+  plus always-on aggregate counters/gauges/timers/histograms.
+* Sinks (:mod:`repro.obs.sinks`) — :class:`NullSink` (default, one
+  attribute check per disabled event), :class:`JsonlSink` (offline
+  analysis) and :class:`InMemorySink` (tests, HTML report).
+* :func:`get_logger` / :func:`configure_logging` (:mod:`repro.obs.log`) —
+  stdlib logging namespaced under ``repro``.
+* Run reports (:mod:`repro.obs.report`) — the schema-versioned JSON
+  document ``repro-route --metrics-out`` writes and benchmarks diff.
+
+Typical use::
+
+    from repro.obs import JsonlSink, Tracer
+    tracer = Tracer(JsonlSink("trace.jsonl"))
+    result = SynergisticRouter(system, netlist, tracer=tracer).route()
+    tracer.sink.close()
+    print(result.telemetry.counters["dijkstra.pops"])
+"""
+
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.report import (
+    REPORT_KIND,
+    SCHEMA_VERSION,
+    assert_valid_run_report,
+    build_run_report,
+    validate_run_report,
+    write_run_report,
+)
+from repro.obs.sinks import (
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    TraceSink,
+    iter_jsonl,
+    read_jsonl,
+)
+from repro.obs.tracer import Span, TelemetrySnapshot, Tracer
+
+__all__ = [
+    "InMemorySink",
+    "JsonlSink",
+    "NullSink",
+    "REPORT_KIND",
+    "SCHEMA_VERSION",
+    "Span",
+    "TelemetrySnapshot",
+    "TraceSink",
+    "Tracer",
+    "assert_valid_run_report",
+    "build_run_report",
+    "configure_logging",
+    "get_logger",
+    "iter_jsonl",
+    "read_jsonl",
+    "validate_run_report",
+    "write_run_report",
+]

@@ -1,0 +1,68 @@
+"""Structured logging for the routing flow.
+
+Every module logs through :func:`get_logger`, which namespaces under the
+``repro`` root logger.  The library attaches a ``NullHandler`` so importing
+applications stay silent by default (the stdlib recommendation); the CLI
+(or any embedder) calls :func:`configure_logging` to get timestamped
+progress lines on stderr.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+_ROOT_NAME = "repro"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+#: Handler installed by :func:`configure_logging` (replaced on re-call).
+_installed_handler: Optional[logging.Handler] = None
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Logger namespaced under the package root.
+
+    Args:
+        name: dotted suffix (``"core.router"``) or an already-qualified
+            ``repro.*`` module name (``__name__`` works from inside the
+            package); ``None`` returns the root ``repro`` logger.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_logging(
+    level: str = "info", stream: Optional[IO[str]] = None
+) -> logging.Handler:
+    """Attach a stream handler with timestamps to the ``repro`` logger.
+
+    Calling it again replaces the previously installed handler (so tests
+    and long-lived processes can re-configure without duplicate lines).
+
+    Args:
+        level: one of ``debug``, ``info``, ``warning``, ``error``
+            (case-insensitive).
+        stream: destination, default ``sys.stderr``.
+
+    Returns:
+        The installed handler (useful for detaching in tests).
+    """
+    global _installed_handler
+    resolved = getattr(logging, level.upper(), None)
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r}")
+    root = logging.getLogger(_ROOT_NAME)
+    if _installed_handler is not None:
+        root.removeHandler(_installed_handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root.addHandler(handler)
+    root.setLevel(resolved)
+    _installed_handler = handler
+    return handler

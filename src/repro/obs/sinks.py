@@ -1,0 +1,126 @@
+"""Trace sinks: where instrumentation events go.
+
+A sink receives one flat ``dict`` per event (see :mod:`repro.obs.tracer`
+for the event vocabulary).  Three backends cover the practical needs:
+
+* :class:`NullSink` — the default.  Emission is a no-op; call sites guard
+  per-iteration event construction behind ``tracer.enabled`` so a run with
+  the null sink pays one attribute check per would-be event.
+* :class:`JsonlSink` — one JSON object per line, append-only, suitable for
+  offline analysis (``jq``, pandas, the run-report differ).
+* :class:`InMemorySink` — keeps events in a list; used by the tests and
+  the HTML report.
+
+Sinks must be tolerant of concurrent emitters: phase II work runs on a
+thread pool, so :class:`JsonlSink` serializes writes behind a lock.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Union
+
+try:  # Protocol is purely for documentation/typing; runtime never needs it.
+    from typing import Protocol
+except ImportError:  # pragma: no cover - ancient interpreters only
+    Protocol = object  # type: ignore[assignment]
+
+
+class TraceSink(Protocol):
+    """Structural protocol every trace sink implements."""
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Receive one event dict (flat, JSON-serializable)."""
+
+    def close(self) -> None:
+        """Flush and release any resources (idempotent)."""
+
+
+class NullSink:
+    """Discards every event; the zero-overhead default."""
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Drop the event."""
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class InMemorySink:
+    """Accumulates events in a list (tests, HTML report)."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Append the event to :attr:`events`."""
+        with self._lock:
+            self.events.append(event)
+
+    def close(self) -> None:
+        """Nothing to release; events stay readable."""
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_type(self, event_type: str) -> List[Dict[str, Any]]:
+        """Events whose ``type`` field equals ``event_type``."""
+        return [e for e in self.events if e.get("type") == event_type]
+
+    def named(self, name: str) -> List[Dict[str, Any]]:
+        """Events whose ``name`` field equals ``name``."""
+        return [e for e in self.events if e.get("name") == name]
+
+
+class JsonlSink:
+    """Writes one JSON object per line to a file.
+
+    Args:
+        path: output file; parent directories are created.  The file is
+            truncated on open (a sink records exactly one run).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path("."):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = self.path.open("w", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Serialize the event as one JSON line."""
+        line = json.dumps(event, separators=(",", ":"), sort_keys=False)
+        with self._lock:
+            if self._file.closed:
+                return
+            self._file.write(line)
+            self._file.write("\n")
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load a JSONL trace file back into a list of event dicts."""
+    return list(iter_jsonl(path))
+
+
+def iter_jsonl(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Stream a JSONL trace file one event dict at a time."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Iterator, List, Sequence, TypeVar
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -35,14 +35,19 @@ class ParallelExecutor:
         num_workers: worker threads; ``0`` or ``1`` runs sequentially;
             ``None`` picks ``min(10, cpu_count)`` mirroring the paper's
             10-thread setup.
+        tracer: optional :class:`repro.obs.Tracer`; when given, every
+            :meth:`map` call is wrapped in a ``parallel.map`` span with
+            task/worker counts (dispatch-side only — worker threads are
+            never touched, so sinks see a single-threaded span stream).
     """
 
-    def __init__(self, num_workers: int = 1) -> None:
+    def __init__(self, num_workers: int = 1, tracer: Optional[object] = None) -> None:
         if num_workers is None:
             num_workers = min(10, os.cpu_count() or 1)
         if num_workers < 0:
             raise ValueError("num_workers must be non-negative")
         self.num_workers = num_workers
+        self.tracer = tracer
 
     @property
     def is_parallel(self) -> bool:
@@ -52,6 +57,16 @@ class ParallelExecutor:
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         """Apply ``fn`` to every item, preserving order."""
         items = list(items)
+        tracer = self.tracer
+        if tracer is None:
+            return self._map(fn, items)
+        with tracer.span(
+            "parallel.map", tasks=len(items), workers=self.num_workers
+        ):
+            tracer.add("parallel.tasks", len(items))
+            return self._map(fn, items)
+
+    def _map(self, fn: Callable[[T], R], items: List[T]) -> List[R]:
         if not self.is_parallel or len(items) <= 1:
             return [fn(item) for item in items]
         with ThreadPoolExecutor(max_workers=self.num_workers) as pool:

@@ -9,10 +9,30 @@ a caller-supplied edge cost callable.
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 #: Edge cost callable: ``cost(edge_index, from_die, to_die) -> float``.
 EdgeCostFn = Callable[[int, int, int], float]
+
+
+@dataclass
+class SearchStats:
+    """Accumulated search-effort counters (fed to the obs layer).
+
+    One instance is typically shared across every search of a routing
+    pass; the searches add their local counts on exit, so the per-pop
+    cost on the hot path is a plain local integer increment.
+
+    Attributes:
+        searches: number of Dijkstra invocations accounted.
+        pops: heap pops (settled or stale entries) across all searches.
+        relaxations: successful distance improvements pushed to the heap.
+    """
+
+    searches: int = 0
+    pops: int = 0
+    relaxations: int = 0
 
 
 def dijkstra_path(
@@ -20,6 +40,7 @@ def dijkstra_path(
     source: int,
     target: int,
     edge_cost: EdgeCostFn,
+    stats: Optional[SearchStats] = None,
 ) -> Optional[List[int]]:
     """Find a min-cost simple path from ``source`` to ``target``.
 
@@ -29,6 +50,7 @@ def dijkstra_path(
         target: end die.
         edge_cost: cost of traversing an edge in a given orientation; must
             be non-negative.
+        stats: optional counters to accumulate search effort into.
 
     Returns:
         The die path including both endpoints, or ``None`` if unreachable.
@@ -40,8 +62,11 @@ def dijkstra_path(
     prev: List[int] = [-1] * n
     dist[source] = 0.0
     heap: List[Tuple[float, int]] = [(0.0, source)]
+    pops = 0
+    relaxations = 0
     while heap:
         d, die = heapq.heappop(heap)
+        pops += 1
         if d > dist[die]:
             continue
         if die == target:
@@ -51,7 +76,12 @@ def dijkstra_path(
             if nd < dist[other]:
                 dist[other] = nd
                 prev[other] = die
+                relaxations += 1
                 heapq.heappush(heap, (nd, other))
+    if stats is not None:
+        stats.searches += 1
+        stats.pops += pops
+        stats.relaxations += relaxations
     if dist[target] == float("inf"):
         return None
     path = [target]
@@ -65,8 +95,15 @@ def dijkstra_all(
     adjacency: Sequence[Sequence[Tuple[int, int]]],
     source: int,
     edge_cost: EdgeCostFn,
+    stats: Optional[SearchStats] = None,
 ) -> Tuple[List[float], List[int]]:
     """Single-source shortest distances and predecessor dies.
+
+    Args:
+        adjacency: per-die list of ``(edge_index, other_die)`` pairs.
+        source: start die.
+        edge_cost: non-negative traversal cost callable.
+        stats: optional counters to accumulate search effort into.
 
     Returns:
         ``(dist, prev)`` where ``dist[v]`` is the cost to reach die ``v``
@@ -78,8 +115,11 @@ def dijkstra_all(
     prev = [-1] * n
     dist[source] = 0.0
     heap: List[Tuple[float, int]] = [(0.0, source)]
+    pops = 0
+    relaxations = 0
     while heap:
         d, die = heapq.heappop(heap)
+        pops += 1
         if d > dist[die]:
             continue
         for edge_index, other in adjacency[die]:
@@ -87,7 +127,12 @@ def dijkstra_all(
             if nd < dist[other]:
                 dist[other] = nd
                 prev[other] = die
+                relaxations += 1
                 heapq.heappush(heap, (nd, other))
+    if stats is not None:
+        stats.searches += 1
+        stats.pops += pops
+        stats.relaxations += relaxations
     return dist, prev
 
 

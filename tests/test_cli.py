@@ -122,6 +122,100 @@ class TestReportAndJsonFlags:
         assert "Edge utilization" in capsys.readouterr().out
 
 
+class TestObservabilityFlags:
+    def test_trace_and_metrics_out_end_to_end(self, case_file, tmp_path):
+        import json
+
+        from repro.obs import read_jsonl, validate_run_report
+
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "report.json"
+        code = route_main(
+            [
+                "--case-file",
+                str(case_file),
+                "--trace-out",
+                str(trace),
+                "--metrics-out",
+                str(metrics),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        events = read_jsonl(trace)
+        types = {e["type"] for e in events}
+        assert {"span", "counter", "event"} <= types
+        names = {e.get("name") for e in events}
+        assert "phase.initial_routing" in names
+        assert "lr.iteration" in names
+        assert "ir.iteration" in names
+        doc = json.loads(metrics.read_text())
+        assert validate_run_report(doc) == []
+        assert doc["result"]["conflict_count"] == 0
+        phases = doc["phase_times"]
+        assert phases["total"] == pytest.approx(
+            phases["initial_routing"]
+            + phases["tdm_assignment"]
+            + phases["legalization_wire_assignment"]
+        )
+        assert doc["telemetry"]["counters"]["dijkstra.pops"] > 0
+
+    def test_metrics_out_alone(self, case_file, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_run_report
+
+        metrics = tmp_path / "report.json"
+        code = route_main(
+            ["--case-file", str(case_file), "--metrics-out", str(metrics)]
+        )
+        assert code == 0
+        doc = json.loads(metrics.read_text())
+        assert validate_run_report(doc) == []
+        assert doc["lr"] is not None and doc["lr"]["num_iterations"] > 0
+        assert "run report written" in capsys.readouterr().out
+
+    def test_metrics_out_with_baseline_router(self, case_file, tmp_path):
+        import json
+
+        from repro.obs import validate_run_report
+
+        metrics = tmp_path / "report.json"
+        code = route_main(
+            [
+                "--case-file",
+                str(case_file),
+                "--router",
+                "winner1",
+                "--metrics-out",
+                str(metrics),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(metrics.read_text())
+        assert validate_run_report(doc) == []
+        assert doc["telemetry"] is None  # baselines are uninstrumented
+
+    def test_log_level_flag_emits_progress_lines(self, case_file, capsys):
+        import logging
+
+        code = route_main(
+            ["--case-file", str(case_file), "--log-level", "info", "--quiet"]
+        )
+        try:
+            assert code == 0
+            err = capsys.readouterr().err
+            assert "repro.core" in err
+            assert "routing done" in err
+        finally:
+            root = logging.getLogger("repro")
+            for handler in list(root.handlers):
+                if not isinstance(handler, logging.NullHandler):
+                    root.removeHandler(handler)
+            root.setLevel(logging.NOTSET)
+
+
 class TestVersionFlags:
     @pytest.mark.parametrize(
         "entry",

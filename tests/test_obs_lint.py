@@ -1,0 +1,42 @@
+"""Lint contract: core phases must use the obs layer, not ad-hoc I/O.
+
+``src/repro/core/`` may not grow bare ``time.time()`` calls (spans and
+``time.perf_counter`` via the tracer are the sanctioned clocks) or
+``print(`` calls (progress goes through ``repro.obs.get_logger``).  A
+simple grep keeps the rule enforceable without extra tooling.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+
+CORE_DIR = Path(repro.__file__).resolve().parent / "core"
+CORE_FILES = sorted(CORE_DIR.glob("*.py"))
+
+#: pattern -> what the offender should use instead.
+FORBIDDEN = {
+    re.compile(r"\btime\.time\(\)"): "a repro.obs span (monotonic clocks)",
+    re.compile(r"(?<![\w.])print\("): "repro.obs.get_logger(...)",
+}
+
+
+def test_core_files_were_found():
+    assert len(CORE_FILES) >= 10, f"unexpected core layout under {CORE_DIR}"
+
+
+@pytest.mark.parametrize("path", CORE_FILES, ids=lambda p: p.name)
+def test_no_bare_timing_or_print_in_core(path):
+    offenders = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        stripped = line.split("#", 1)[0]  # allow mentions in comments
+        for pattern, remedy in FORBIDDEN.items():
+            if pattern.search(stripped):
+                offenders.append(
+                    f"{path.name}:{lineno}: {line.strip()!r} — use {remedy}"
+                )
+    assert not offenders, "\n".join(offenders)
