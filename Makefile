@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast examples suite trace clean
+.PHONY: install test bench bench-fast perf examples suite trace clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +19,12 @@ bench-fast:
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done
 	@echo "all examples ran cleanly"
+
+# Performance gate: runtime budgets plus the phase I kernel speedup
+# benchmark (docs/performance.md).  Emits BENCH_kernel.json.
+perf:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_performance_guards.py -q
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_kernel.py --benchmark-only -q
 
 # Table III sweep only.
 table3:

@@ -1,0 +1,109 @@
+"""Phase I kernel speedup: array-driven search vs closure-based search.
+
+Routes contest cases end-to-end with ``RouterConfig.use_kernel`` on and
+off and reports the wall-time speedup alongside the quality columns
+(critical delay, #CONF) — which must be identical, since the kernel in
+exact mode is a bit-for-bit reimplementation of the closure search.  The
+kernel's cache counters (``kernel.*``) are pulled from the run telemetry
+so the report shows *why* the speedup happens.
+
+Rows land in ``BENCH_kernel.json`` (schema: benchmarks/conftest.py) so
+the before/after trajectory can be diffed across commits.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import (
+    bench_case,
+    record_bench_result,
+    register_report,
+)
+from repro import RouterConfig, SynergisticRouter
+
+#: Cases routed by this benchmark (the perf-guard pair by default).
+KERNEL_CASES = [
+    name.strip()
+    for name in os.environ.get("REPRO_BENCH_KERNEL_CASES", "case05,case07").split(",")
+    if name.strip()
+]
+
+#: Timing repetitions; the best run is reported (rejects scheduler noise).
+ROUNDS = int(os.environ.get("REPRO_BENCH_KERNEL_ROUNDS", "3"))
+
+#: End-to-end wall times at the pre-kernel commit (f453f79), best of 7
+#: interleaved runs on the reference machine — the fixed yardstick for
+#: the PR-level speedup (the in-tree ``use_kernel=False`` path also got
+#: faster from the shared data-layout work, so it understates the win).
+PRE_PR_BASELINE_S = {"case05": 0.187, "case07": 0.644}
+
+
+def route_once(case, use_kernel: bool):
+    config = RouterConfig(use_kernel=use_kernel)
+    router = SynergisticRouter(case.system, case.netlist, config=config)
+    start = time.perf_counter()
+    result = router.route()
+    elapsed = time.perf_counter() - start
+    return elapsed, result
+
+
+@pytest.mark.parametrize("case_name", KERNEL_CASES)
+def test_kernel_speedup(benchmark, case_name):
+    case = bench_case(case_name)
+    best = {True: float("inf"), False: float("inf")}
+    results = {}
+
+    def run():
+        # Interleave the two configurations so machine noise hits both.
+        for _ in range(ROUNDS):
+            for use_kernel in (False, True):
+                elapsed, result = route_once(case, use_kernel)
+                best[use_kernel] = min(best[use_kernel], elapsed)
+                results[use_kernel] = result
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    kernel_result = results[True]
+    legacy_result = results[False]
+    counters = kernel_result.telemetry.counters
+    speedup = best[False] / best[True] if best[True] else float("inf")
+    pre_pr = PRE_PR_BASELINE_S.get(case_name)
+    record_bench_result(
+        "kernel",
+        case_name,
+        wall_time_kernel_s=best[True],
+        wall_time_legacy_s=best[False],
+        speedup=speedup,
+        wall_time_pre_pr_s=pre_pr,
+        speedup_vs_pre_pr=(pre_pr / best[True]) if pre_pr else None,
+        critical_delay=kernel_result.critical_delay,
+        critical_delay_legacy=legacy_result.critical_delay,
+        conflicts=kernel_result.conflict_count,
+        tree_hits=counters.get("kernel.tree_hits", 0),
+        tree_misses=counters.get("kernel.tree_misses", 0),
+        epoch_bumps=counters.get("kernel.epoch_bumps", 0),
+        overlay_searches=counters.get("kernel.overlay_searches", 0),
+    )
+    register_report(
+        "Phase I kernel speedup",
+        [
+            f"{case_name}: kernel {best[True]:.3f}s vs legacy {best[False]:.3f}s "
+            f"({speedup:.2f}x), delay {kernel_result.critical_delay:.2f}, "
+            f"conf {kernel_result.conflict_count}, "
+            f"tree {counters.get('kernel.tree_hits', 0)}h/"
+            f"{counters.get('kernel.tree_misses', 0)}m, "
+            f"epochs {counters.get('kernel.epoch_bumps', 0)}, "
+            f"overlays {counters.get('kernel.overlay_searches', 0)}"
+            + (f", {pre_pr / best[True]:.2f}x vs pre-kernel" if pre_pr else ""),
+        ],
+    )
+
+    # The exact-mode kernel must not change the answer.
+    assert kernel_result.critical_delay == legacy_result.critical_delay
+    assert kernel_result.conflict_count == legacy_result.conflict_count
+    assert kernel_result.solution.is_complete

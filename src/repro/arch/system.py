@@ -80,7 +80,24 @@ class MultiFpgaSystem:
         }
         if len(self._edge_by_dies) != len(self._edges):
             raise ValueError("parallel edges between the same die pair")
+        # Flat (frm * n + to) -> (edge_index, direction) table so path
+        # decoding loops avoid dict probes and edge-object attribute
+        # lookups; None where dies are not adjacent.
+        n = len(self._dies)
+        hop_table: List[Optional[Tuple[int, int]]] = [None] * (n * n)
+        for edge in self._edges:
+            hop_table[edge.die_a * n + edge.die_b] = (edge.index, 0)
+            hop_table[edge.die_b * n + edge.die_a] = (edge.index, 1)
+        self._hop_table = hop_table
         self._validate_connectivity()
+
+    def hop(self, from_die: int, to_die: int) -> Optional[Tuple[int, int]]:
+        """``(edge_index, direction)`` of the hop between two dies (O(1)).
+
+        Direction 0 runs from the edge's ``die_a`` to ``die_b``; returns
+        ``None`` when the dies are not adjacent.
+        """
+        return self._hop_table[from_die * len(self._dies) + to_die]
 
     # ------------------------------------------------------------------
     # Basic accessors

@@ -46,6 +46,23 @@ class RouterConfig:
             encourages — at the cost of the per-connection ordering.
             ``None`` (default) keeps the paper's pure per-connection
             routing; ablated in the benchmarks.
+        use_kernel: route phase I searches through the array-driven
+            :class:`~repro.route.kernel.RoutingKernel` (flat CSR
+            adjacency, precomputed cost vector, epoch-cached SSSP trees)
+            instead of the closure-based reference search.  Exact: with
+            per-connection cost syncs the kernel prices every edge
+            bit-identically to the closure, so paths — and therefore all
+            downstream results — are unchanged; it is simply faster.
+            ``False`` restores the reference implementation (used by the
+            equivalence tests and as an escape hatch).
+        batched_negotiation: reroute each negotiation round's victims
+            under costs frozen once per round (after rip-up), so victims
+            sharing a source die reuse one cached SSSP tree instead of
+            searching individually.  Rounds already freeze history, and
+            the round's reroutes are few, so this is quality-neutral in
+            practice; ``False`` keeps the exact per-connection reroute
+            (each victim sees the demand committed by the previous one).
+            Requires ``use_kernel``; ignored without it.
         weight_mode: ``"auto"`` applies the paper's rule (delay-driven
             weights when die demand is below half the SLL capacity,
             congestion-driven otherwise); ``"delay"``/``"congestion"``
@@ -79,6 +96,8 @@ class RouterConfig:
     present_penalty: float = 4.0
     weight_mode: str = "auto"
     ripup_factor: float = 2.0
+    use_kernel: bool = True
+    batched_negotiation: bool = False
     initial_batch_size: Optional[int] = None
     steiner_fanout_threshold: Optional[int] = None
     timing_reroute_rounds: int = 3

@@ -16,7 +16,7 @@ trees without forcing them.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, List, Sequence, Set
 
 import numpy as np
 
@@ -55,6 +55,9 @@ class EdgeCostModel:
         self.is_tdm = [bool(t) for t in graph.is_tdm]
         self.capacity = [int(c) for c in graph.capacity]
         self._tdm_fixed = delay_model.d0 + delay_model.tdm_step
+        #: Edges whose history changed since the last :meth:`drain_dirty`
+        #: (consumed by the routing kernel to refresh its cost vector).
+        self._dirty: Set[int] = set()
 
     def cost(self, edge_index: int, demand: int, used_by_net: bool) -> float:
         """Cost of routing one more connection over an edge.
@@ -82,10 +85,95 @@ class EdgeCostModel:
         would dwarf a delay-mode base of 1 but vanish against a
         congestion-mode base of ``||V|| + 1``).
         """
+        increment = self.config.history_increment
         for edge_index in edge_indices:
-            self.history[edge_index] += (
-                self.config.history_increment * self.base_weights[edge_index]
-            )
+            bump = increment * self.base_weights[edge_index]
+            if bump:
+                self.history[edge_index] += bump
+                self._dirty.add(edge_index)
+
+    # -- kernel support ------------------------------------------------
+    def drain_dirty(self) -> Set[int]:
+        """Edges whose history changed since the last drain (and reset)."""
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty
+
+    def cost_vector(self, demand: Sequence[int]) -> List[float]:
+        """Undiscounted (µ = 1) cost of every edge at the given demands.
+
+        Entry ``e`` is bit-equal to ``cost(e, demand[e], False)``: the
+        kernel searches index this vector instead of calling the closure,
+        and overlay entries for µ-discounted edges are computed with
+        :meth:`cost` itself, so array-driven and closure-driven searches
+        price every edge identically.
+        """
+        cost = self.cost
+        return [cost(e, demand[e], False) for e in range(self.graph.num_edges)]
+
+    def refresh_cost_entries(
+        self, vec: List[float], demand: Sequence[int], edges: Iterable[int]
+    ) -> bool:
+        """Recompute ``vec`` entries for ``edges``; True if any changed.
+
+        SLL edges below capacity keep a demand-independent cost, so a
+        demand delta there refreshes to the identical value and reports
+        no change — the caller can then keep its cost epoch (and any
+        cached SSSP trees) intact.
+
+        The arithmetic inlines :meth:`cost` at ``µ = 1`` with the same
+        operation order, so entries stay bit-equal to
+        ``cost(e, demand[e], False)``.  This runs once per routed
+        connection, which is why it avoids the per-edge method call.
+        """
+        is_tdm = self.is_tdm
+        capacity = self.capacity
+        base_weights = self.base_weights
+        history = self.history
+        tdm_fixed = self._tdm_fixed
+        penalty = self.config.present_penalty
+        changed = False
+        for edge_index in edges:
+            if is_tdm[edge_index]:
+                value = tdm_fixed + demand[edge_index] / capacity[edge_index]
+            else:
+                value = base_weights[edge_index] + history[edge_index]
+                overuse = demand[edge_index] + 1 - capacity[edge_index]
+                if overuse > 0:
+                    value *= 1.0 + penalty * overuse
+            if value != vec[edge_index]:
+                vec[edge_index] = value
+                changed = True
+        return changed
+
+    def apply_mu_overlay(
+        self, vec: List[float], demand: Sequence[int], edges: Iterable[int]
+    ) -> None:
+        """Patch ``vec`` entries to the µ-discounted cost for ``edges``.
+
+        Each patched entry is bit-equal to ``cost(e, demand[e], True)``
+        (same inlining discipline as :meth:`refresh_cost_entries`); the
+        kernel calls this once per per-net search on a copy of its cost
+        vector.
+        """
+        mu = self.config.mu_shared
+        is_tdm = self.is_tdm
+        capacity = self.capacity
+        base_weights = self.base_weights
+        history = self.history
+        tdm_fixed = self._tdm_fixed
+        penalty = self.config.present_penalty
+        for edge_index in edges:
+            if is_tdm[edge_index]:
+                vec[edge_index] = mu * (
+                    tdm_fixed + demand[edge_index] / capacity[edge_index]
+                )
+            else:
+                value = mu * (base_weights[edge_index] + history[edge_index])
+                overuse = demand[edge_index] + 1 - capacity[edge_index]
+                if overuse > 0:
+                    value *= 1.0 + penalty * overuse
+                vec[edge_index] = value
 
     def history_array(self) -> np.ndarray:
         """Copy of the per-edge history costs (diagnostics)."""

@@ -65,8 +65,9 @@ class TdmIncidence:
         self.pair_dir = np.fromiter(
             (u[2] for u in self.uses), dtype=np.int64, count=self.num_pairs
         )
+        capacities = [edge.capacity for edge in system.edges]
         self.pair_cap = np.fromiter(
-            (system.edge(u[1]).capacity for u in self.uses),
+            (capacities[u[1]] for u in self.uses),
             dtype=np.int64,
             count=self.num_pairs,
         )
@@ -76,17 +77,24 @@ class TdmIncidence:
         conn_sll = np.zeros(self.num_connections, dtype=np.float64)
         conn_tdm = np.zeros(self.num_connections, dtype=np.int64)
         conn_net = np.zeros(self.num_connections, dtype=np.int64)
+        is_tdm = [edge.kind is EdgeKind.TDM for edge in system.edges]
+        d_sll = delay_model.d_sll
+        use_index = self.use_index
         for conn in netlist.connections:
-            conn_net[conn.index] = conn.net_index
-            for edge_index, direction in solution.path_hops(conn.index):
-                edge = system.edge(edge_index)
-                if edge.kind is EdgeKind.SLL:
-                    conn_sll[conn.index] += delay_model.d_sll
+            index = conn.index
+            net_index = conn.net_index
+            conn_net[index] = net_index
+            sll_sum = 0.0
+            tdm_hops = 0
+            for edge_index, direction in solution.path_hops(index):
+                if is_tdm[edge_index]:
+                    inc_conn.append(index)
+                    inc_pair.append(use_index[(net_index, edge_index, direction)])
+                    tdm_hops += 1
                 else:
-                    pair = self.use_index[(conn.net_index, edge_index, direction)]
-                    inc_conn.append(conn.index)
-                    inc_pair.append(pair)
-                    conn_tdm[conn.index] += 1
+                    sll_sum += d_sll
+            conn_sll[index] = sll_sum
+            conn_tdm[index] = tdm_hops
         self.inc_conn = np.asarray(inc_conn, dtype=np.int64)
         self.inc_pair = np.asarray(inc_pair, dtype=np.int64)
         self.conn_sll_delay = conn_sll

@@ -23,8 +23,9 @@ from repro.core.ordering import estimate_edge_weights, floyd_warshall, order_con
 from repro.core.pathfinder import NegotiationState
 from repro.netlist.netlist import Netlist
 from repro.obs import Tracer, get_logger
-from repro.route.dijkstra import SearchStats, dijkstra_path
+from repro.route.dijkstra import SearchStats, dijkstra_path, extract_path
 from repro.route.graph import RoutingGraph
+from repro.route.kernel import RoutingKernel
 from repro.route.solution import RoutingSolution
 from repro.timing.delay import DelayModel
 
@@ -62,6 +63,7 @@ class InitialRouter:
         self.tracer = tracer if tracer is not None else Tracer()
         self.stats = InitialRoutingStats()
         self._search = SearchStats()
+        self._kernel: Optional[RoutingKernel] = None
 
     def route(self) -> RoutingSolution:
         """Produce an overlap-free (when feasible) routing topology."""
@@ -79,12 +81,43 @@ class InitialRouter:
 
         state = NegotiationState(graph)
         cost_model = EdgeCostModel(graph, self.delay_model, self.config, weights)
+        if self.config.use_kernel:
+            self._kernel = RoutingKernel(
+                graph, cost_model, state, search_stats=self._search
+            )
         paths: List[Optional[List[int]]] = [None] * netlist.num_connections
 
         with tracer.span("ir.first_pass"):
             order = self._steiner_first_pass(order, graph, state, cost_model, paths)
             if self.config.initial_batch_size:
                 self._batched_first_pass(order, graph, state, cost_model, paths)
+            elif self._kernel is not None:
+                # Inlined _route_connection: this loop runs once per
+                # connection and the call/attribute overhead is measurable
+                # at case07 scale.
+                kernel = self._kernel
+                sync = kernel.sync
+                search = kernel.route
+                net_edges_view = state.net_edges_view
+                add_path = state.add_path
+                connections = netlist.connections
+                for conn_index in order:
+                    conn = connections[conn_index]
+                    sync()
+                    path = search(
+                        conn.source_die,
+                        conn.sink_die,
+                        net_edges_view(conn.net_index),
+                    )
+                    if path is None:
+                        raise RuntimeError(
+                            f"connection {conn_index} (die {conn.source_die} "
+                            f"-> {conn.sink_die}) is unroutable: system "
+                            "graph disconnected"
+                        )
+                    add_path(conn.net_index, path)
+                    paths[conn_index] = path
+                self.stats.connections_routed += len(order)
             else:
                 for conn_index in order:
                     paths[conn_index] = self._route_connection(
@@ -135,13 +168,23 @@ class InitialRouter:
                     conn = netlist.connections[conn_index]
                     state.remove_path(conn.net_index, paths[conn_index])
                     paths[conn_index] = None
-                for conn_index in victim_conns:
-                    paths[conn_index] = self._route_connection(
-                        conn_index, graph, state, cost_model
-                    )
-                    self.stats.reroutes += 1
+                if self._kernel is not None and self.config.batched_negotiation:
+                    # Freeze the round's costs once, post-rip-up: victims
+                    # sharing a source die then route off one cached tree.
+                    self._kernel.sync()
+                    for conn_index in victim_conns:
+                        paths[conn_index] = self._route_frozen(conn_index, state)
+                        self.stats.reroutes += 1
+                else:
+                    for conn_index in victim_conns:
+                        paths[conn_index] = self._route_connection(
+                            conn_index, graph, state, cost_model
+                        )
+                        self.stats.reroutes += 1
 
         self.stats.final_overflow = state.total_overflow()
+        if self._kernel is not None:
+            self._kernel.publish_stats(tracer)
         tracer.add("ir.connections_routed", self.stats.connections_routed)
         tracer.add("ir.reroutes", self.stats.reroutes)
         tracer.add("dijkstra.searches", self._search.searches)
@@ -229,21 +272,42 @@ class InitialRouter:
         demand growth are ignored until the next wave), so large batches
         trade quality for throughput; the negotiation rounds and the
         timing-driven loop that follow are exact either way.
+
+        With the kernel enabled the wave freeze is simply "don't sync
+        until the wave commits": the epoch-keyed tree cache then shares
+        one SSSP tree per distinct source die per wave.  The closure
+        fallback keeps the same semantics with an explicit demand
+        snapshot (one buffer reused across waves).
         """
-        from repro.route.dijkstra import dijkstra_all, extract_path
+        from repro.route.dijkstra import dijkstra_all
 
         netlist = self.netlist
         batch = self.config.initial_batch_size
+        kernel = self._kernel
+        if kernel is not None:
+            for start in range(0, len(order), batch):
+                kernel.sync()
+                for conn_index in order[start : start + batch]:
+                    conn = netlist.connections[conn_index]
+                    _, prev = kernel.tree(conn.source_die)
+                    path = extract_path(prev, conn.source_die, conn.sink_die)
+                    paths[conn_index] = path
+                    state.add_path(conn.net_index, path)
+                    self.stats.connections_routed += 1
+            return
+
         cost = cost_model.cost
+        # One snapshot buffer reused across waves: the whole wave prices
+        # edges identically (committing paths mid-wave would skew later
+        # sources), without reallocating a demand copy per wave.
+        snapshot = [0] * graph.num_edges
+
+        def edge_cost(edge_index: int, frm: int, to: int) -> float:
+            return cost(edge_index, snapshot[edge_index], False)
+
         for start in range(0, len(order), batch):
             wave = order[start : start + batch]
-            # Snapshot demands so the whole wave prices edges identically
-            # (committing paths mid-wave would skew later sources).
-            snapshot = list(state.demand)
-
-            def edge_cost(edge_index: int, frm: int, to: int) -> float:
-                return cost(edge_index, snapshot[edge_index], False)
-
+            snapshot[:] = state.demand
             trees = {}
             for conn_index in wave:
                 source = netlist.connections[conn_index].source_die
@@ -265,8 +329,9 @@ class InitialRouter:
     def _net_routing_weights(self, dist) -> List[float]:
         """Per-net routing weight: the largest of its connections' weights."""
         weights = [0.0] * self.netlist.num_nets
+        dist_rows = dist.tolist()
         for conn in self.netlist.connections:
-            weight = float(dist[conn.source_die, conn.sink_die])
+            weight = dist_rows[conn.source_die][conn.sink_die]
             if weight > weights[conn.net_index]:
                 weights[conn.net_index] = weight
         return weights
@@ -292,8 +357,10 @@ class InitialRouter:
                 victims.update(nets)
                 continue
             quota = int(math.ceil(factor * overuse))
-            nets.sort(key=lambda n: (net_weight[n], n))
-            victims.update(nets[:quota])
+            # sorted(), not .sort(): NegotiationState may hand out
+            # references to its internals, which must stay unordered.
+            ranked = sorted(nets, key=lambda n: (net_weight[n], n))
+            victims.update(ranked[:quota])
         return victims
 
     def _route_connection(
@@ -305,19 +372,51 @@ class InitialRouter:
     ) -> List[int]:
         """Dijkstra one connection under the current negotiated costs."""
         conn = self.netlist.connections[conn_index]
-        net_edges = state.net_edges(conn.net_index)
-        demand = state.demand
-        cost = cost_model.cost
+        kernel = self._kernel
+        if kernel is not None:
+            kernel.sync()
+            path = kernel.route(
+                conn.source_die,
+                conn.sink_die,
+                state.net_edges_view(conn.net_index),
+            )
+        else:
+            net_edges = state.net_edges(conn.net_index)
+            demand = state.demand
+            cost = cost_model.cost
 
-        def edge_cost(edge_index: int, frm: int, to: int) -> float:
-            return cost(edge_index, demand[edge_index], edge_index in net_edges)
+            def edge_cost(edge_index: int, frm: int, to: int) -> float:
+                return cost(edge_index, demand[edge_index], edge_index in net_edges)
 
-        path = dijkstra_path(
-            graph.adjacency,
+            path = dijkstra_path(
+                graph.adjacency,
+                conn.source_die,
+                conn.sink_die,
+                edge_cost,
+                stats=self._search,
+            )
+        if path is None:
+            raise RuntimeError(
+                f"connection {conn_index} (die {conn.source_die} -> "
+                f"{conn.sink_die}) is unroutable: system graph disconnected"
+            )
+        state.add_path(conn.net_index, path)
+        return path
+
+    def _route_frozen(self, conn_index: int, state: NegotiationState) -> List[int]:
+        """Route one victim under the kernel's frozen round costs.
+
+        Like :meth:`_route_connection` but without the per-connection
+        cost sync: the caller froze the epoch for the whole round, so
+        same-source victims share one cached SSSP tree (the µ overlay,
+        when the net still holds edges, is still applied per net).
+        """
+        conn = self.netlist.connections[conn_index]
+        path = self._kernel.route(
             conn.source_die,
             conn.sink_die,
-            edge_cost,
-            stats=self._search,
+            state.net_edges_view(conn.net_index),
+            prefer_tree=True,
         )
         if path is None:
             raise RuntimeError(

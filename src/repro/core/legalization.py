@@ -168,26 +168,36 @@ class TdmLegalizer:
         """
         model = self.incidence.delay_model
         step = model.tdm_step
+        crit_drop = model.d1 * step
         epsilon = self.config.refine_margin_epsilon
         margin = budget - float(np.sum(1.0 / ratios[pairs]))
         if margin <= epsilon:
             return 0
+        # Plain-float mirrors for the heap loop: numpy scalar indexing
+        # per pop/push would dominate it.  ``pairs`` is ascending, so
+        # local positions preserve the pair-index tie-breaking.
+        local_ratios = ratios[pairs].tolist()
+        local_crit = criticality[pairs].tolist()
         heap: List[Tuple[float, int]] = [
-            (-criticality[pair], pair) for pair in pairs
+            (-crit, position) for position, crit in enumerate(local_crit)
         ]
         heapq.heapify(heap)
         steps = 0
         while heap and margin > epsilon:
-            neg_crit, pair = heapq.heappop(heap)
-            ratio = ratios[pair]
+            neg_crit, position = heapq.heappop(heap)
+            ratio = local_ratios[position]
             if ratio <= step:
                 continue  # already at the minimum legal ratio: drop it
             delta = 1.0 / (ratio - step) - 1.0 / ratio
             if delta > margin - epsilon:
                 continue  # cannot afford this net's decrease: drop it
-            ratios[pair] = ratio - step
-            criticality[pair] = -neg_crit - model.d1 * step
+            local_ratios[position] = ratio - step
+            crit = -neg_crit - crit_drop
+            local_crit[position] = crit
             margin -= delta
             steps += 1
-            heapq.heappush(heap, (-criticality[pair], pair))
+            heapq.heappush(heap, (-crit, position))
+        if steps:
+            ratios[pairs] = local_ratios
+            criticality[pairs] = local_crit
         return steps

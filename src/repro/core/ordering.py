@@ -43,17 +43,33 @@ def estimate_sll_pressure(graph: RoutingGraph, netlist: Netlist) -> float:
         return 0.0
     nets_per_edge = [set() for _ in range(graph.num_edges)]
     prev_by_source = {}
+    # Connections share (source, sink) pairs heavily — on an n-die system
+    # there are at most n*(n-1) pairs — so the hop-shortest path's SLL
+    # edges are resolved once per pair, not once per connection.
+    sll_edges_of_pair = {}
+    edge_of = graph.edge_index_between
+    is_tdm = graph.is_tdm.tolist()
     unit = lambda e, a, b: 1.0  # noqa: E731 - tiny local cost fn
     for conn in netlist.connections:
-        prev = prev_by_source.get(conn.source_die)
-        if prev is None:
-            _, prev = dijkstra_all(graph.adjacency, conn.source_die, unit)
-            prev_by_source[conn.source_die] = prev
-        path = extract_path(prev, conn.source_die, conn.sink_die)
-        for frm, to in zip(path, path[1:]):
-            edge = graph.system.edge_between(frm, to)
-            if not graph.is_tdm[edge.index]:
-                nets_per_edge[edge.index].add(conn.net_index)
+        pair = (conn.source_die, conn.sink_die)
+        edges = sll_edges_of_pair.get(pair)
+        if edges is None:
+            prev = prev_by_source.get(conn.source_die)
+            if prev is None:
+                _, prev = dijkstra_all(graph.adjacency, conn.source_die, unit)
+                prev_by_source[conn.source_die] = prev
+            path = extract_path(prev, conn.source_die, conn.sink_die)
+            edges = [
+                edge_index
+                for edge_index in (
+                    edge_of(frm, to) for frm, to in zip(path, path[1:])
+                )
+                if not is_tdm[edge_index]
+            ]
+            sll_edges_of_pair[pair] = edges
+        net_index = conn.net_index
+        for edge_index in edges:
+            nets_per_edge[edge_index].add(net_index)
     return max(
         len(nets_per_edge[int(e)]) / float(graph.capacity[int(e)])
         for e in sll_edges
@@ -152,10 +168,15 @@ def order_connections(
     with fewer fanouts have priority; remaining ties break on connection
     index for determinism.
     """
+    # Plain-list views: the key function runs once per connection and
+    # numpy scalar indexing would dominate it.
+    dist_rows = dist.tolist()
+    fanouts = [netlist.net(net_index).fanout for net_index in range(netlist.num_nets)]
+    connections = netlist.connections
+
     def key(conn_index: int):
-        conn = netlist.connections[conn_index]
-        weight = dist[conn.source_die, conn.sink_die]
-        fanout = netlist.net(conn.net_index).fanout
-        return (-weight, fanout, conn_index)
+        conn = connections[conn_index]
+        weight = dist_rows[conn.source_die][conn.sink_die]
+        return (-weight, fanouts[conn.net_index], conn_index)
 
     return sorted(range(netlist.num_connections), key=key)

@@ -9,7 +9,7 @@ cost model pays off.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.route.graph import RoutingGraph
 
@@ -23,42 +23,92 @@ class NegotiationState:
         self.demand: List[int] = [0] * graph.num_edges
         #: Per net: edge -> number of its connections using the edge.
         self._net_edge_count: Dict[int, Dict[int, int]] = {}
+        #: Edges whose demand changed since the last :meth:`drain_dirty`
+        #: (consumed by the routing kernel to refresh its cost vector).
+        self._dirty: Set[int] = set()
+        #: Edge lists memoized per distinct die path (paths repeat
+        #: heavily across connections; the lists are never mutated).
+        self._path_edges: Dict[Tuple[int, ...], List[int]] = {}
+        # Plain-int mirrors of the graph's numpy arrays: the per-round
+        # overflow scans index these instead of numpy scalars.
+        self._sll_edges: List[int] = [int(e) for e in graph.sll_edge_indices]
+        self._capacity: List[int] = [int(c) for c in graph.capacity]
 
     def net_edges(self, net_index: int) -> Dict[int, int]:
         """Edges currently used by a net (edge -> connection count)."""
         return self._net_edge_count.setdefault(net_index, {})
 
+    def net_edges_view(self, net_index: int) -> Optional[Dict[int, int]]:
+        """Like :meth:`net_edges`, but ``None`` for a net with no edges.
+
+        Read-only fast path for the router's inner loop: it never
+        allocates the per-net dict, which :meth:`net_edges` would create
+        for every not-yet-routed net.
+        """
+        return self._net_edge_count.get(net_index)
+
+    def _edges_of_path(self, path: Sequence[int]) -> List[int]:
+        key = tuple(path)
+        edges = self._path_edges.get(key)
+        if edges is None:
+            edge_of = self.graph.edge_index_between
+            edges = [edge_of(frm, to) for frm, to in zip(path, path[1:])]
+            self._path_edges[key] = edges
+        return edges
+
     def add_path(self, net_index: int, path: Sequence[int]) -> None:
         """Account a routed die path of one of the net's connections."""
         counts = self._net_edge_count.setdefault(net_index, {})
-        for frm, to in zip(path, path[1:]):
-            edge_index = self._edge_of(frm, to)
+        for edge_index in self._edges_of_path(path):
             previous = counts.get(edge_index, 0)
             counts[edge_index] = previous + 1
             if previous == 0:
                 self.demand[edge_index] += 1
+                self._dirty.add(edge_index)
+
+    def add_hops(self, net_index: int, hops: Iterable[Tuple[int, int]]) -> None:
+        """Account a routed path given as ``(edge_index, direction)`` hops.
+
+        Same bookkeeping as :meth:`add_path` without the die-pair lookup;
+        used when the caller already holds the hop list (e.g. from
+        :meth:`repro.route.solution.RoutingSolution.path_hops`).
+        """
+        counts = self._net_edge_count.setdefault(net_index, {})
+        for edge_index, _ in hops:
+            previous = counts.get(edge_index, 0)
+            counts[edge_index] = previous + 1
+            if previous == 0:
+                self.demand[edge_index] += 1
+                self._dirty.add(edge_index)
 
     def remove_path(self, net_index: int, path: Sequence[int]) -> None:
         """Reverse :meth:`add_path` for a ripped-up connection."""
         counts = self._net_edge_count.get(net_index)
         if counts is None:
             raise KeyError(f"net {net_index} has no routed paths")
-        for frm, to in zip(path, path[1:]):
-            edge_index = self._edge_of(frm, to)
+        for edge_index in self._edges_of_path(path):
             remaining = counts[edge_index] - 1
             if remaining == 0:
                 del counts[edge_index]
                 self.demand[edge_index] -= 1
+                self._dirty.add(edge_index)
             else:
                 counts[edge_index] = remaining
 
+    def drain_dirty(self) -> Set[int]:
+        """Edges whose demand changed since the last drain (and reset)."""
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty
+
     def overflowed_sll_edges(self) -> List[int]:
         """SLL edges whose demand exceeds their capacity."""
-        graph = self.graph
+        demand = self.demand
+        capacity = self._capacity
         return [
-            int(edge_index)
-            for edge_index in graph.sll_edge_indices
-            if self.demand[edge_index] > graph.capacity[edge_index]
+            edge_index
+            for edge_index in self._sll_edges
+            if demand[edge_index] > capacity[edge_index]
         ]
 
     def nets_on_edges(self, edge_indices: Iterable[int]) -> Set[int]:
@@ -80,16 +130,14 @@ class NegotiationState:
 
     def overuse(self, edge_index: int) -> int:
         """Demand beyond capacity on one edge (0 when legal)."""
-        return max(
-            0, self.demand[edge_index] - int(self.graph.capacity[edge_index])
-        )
+        return max(0, self.demand[edge_index] - self._capacity[edge_index])
 
     def total_overflow(self) -> int:
         """Sum of SLL overuse over all edges (the #CONF metric)."""
-        graph = self.graph
+        demand = self.demand
+        capacity = self._capacity
         return sum(
-            max(0, self.demand[int(e)] - int(graph.capacity[e]))
-            for e in graph.sll_edge_indices
+            max(0, demand[e] - capacity[e]) for e in self._sll_edges
         )
 
     def overuse_histogram(self) -> Dict[int, int]:
@@ -100,15 +148,13 @@ class NegotiationState:
         negotiation round as telemetry.
         """
         histogram: Dict[int, int] = {}
-        graph = self.graph
-        for edge_index in graph.sll_edge_indices:
-            over = self.demand[int(edge_index)] - int(graph.capacity[edge_index])
+        demand = self.demand
+        capacity = self._capacity
+        for edge_index in self._sll_edges:
+            over = demand[edge_index] - capacity[edge_index]
             if over > 0:
                 histogram[over] = histogram.get(over, 0) + 1
         return histogram
 
     def _edge_of(self, frm: int, to: int) -> int:
-        edge = self.graph.system.edge_between(frm, to)
-        if edge is None:
-            raise ValueError(f"dies {frm} and {to} are not adjacent")
-        return edge.index
+        return self.graph.edge_index_between(frm, to)

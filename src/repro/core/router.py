@@ -246,7 +246,9 @@ class SynergisticRouter:
                 # The refinement search counts as initial-routing work, so
                 # it accumulates into the same phase timer.
                 with tracer.span(PHASE_IR, kind="timing_reroute"):
-                    outcome = refiner.refine(solution)
+                    # ``timing`` is always an analysis of the current
+                    # ``solution``, so the refiner need not re-run one.
+                    outcome = refiner.refine(solution, report=timing)
                 if outcome.solution is None:
                     break
                 candidate = outcome.solution

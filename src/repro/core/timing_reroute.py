@@ -25,7 +25,7 @@ from repro.netlist.netlist import Netlist
 from repro.route.dijkstra import dijkstra_path
 from repro.route.graph import RoutingGraph
 from repro.route.solution import RoutingSolution
-from repro.timing.analysis import TimingAnalyzer
+from repro.timing.analysis import TimingAnalyzer, TimingReport
 from repro.timing.delay import DelayModel
 
 #: Upper bound on connections re-routed per round; the critical set is
@@ -64,9 +64,20 @@ class TimingDrivenRefiner:
         self._graph = RoutingGraph(system)
         self._analyzer = TimingAnalyzer(system, netlist, delay_model)
 
-    def refine(self, solution: RoutingSolution) -> RefineOutcome:
-        """One refinement round over the solution's critical connections."""
-        report = self._analyzer.analyze(solution)
+    def refine(
+        self,
+        solution: RoutingSolution,
+        report: Optional["TimingReport"] = None,
+    ) -> RefineOutcome:
+        """One refinement round over the solution's critical connections.
+
+        Args:
+            solution: the routed, ratio-assigned solution to refine.
+            report: an up-to-date timing analysis of ``solution``, when
+                the caller already holds one; analyzed here otherwise.
+        """
+        if report is None:
+            report = self._analyzer.analyze(solution)
         if report.critical_connection < 0:
             return RefineOutcome(solution=None)
         critical = report.critical_delay
@@ -108,9 +119,8 @@ class TimingDrivenRefiner:
     def _rebuild_state(self, solution: RoutingSolution) -> NegotiationState:
         state = NegotiationState(self._graph)
         for conn in self.netlist.connections:
-            path = solution.path(conn.index)
-            if path is not None:
-                state.add_path(conn.net_index, list(path))
+            if solution.path(conn.index) is not None:
+                state.add_hops(conn.net_index, solution.path_hops(conn.index))
         return state
 
     def _reroute(

@@ -74,6 +74,16 @@ class WireAssigner:
         inc = self.incidence
         stats = WireAssignmentStats()
         edges = sorted({edge for edge, _ in inc.directed_edges()})
+        # Plain-list views shared by every per-edge task: the greedy sorts
+        # and probes these per pair, where numpy scalar access would
+        # dominate (both arrays are read-only here).
+        ratio_list = ratios.tolist()
+        crit_list = (
+            criticality.tolist()
+            if criticality is not None
+            else [0.0] * len(ratio_list)
+        )
+        pair_net = inc.pair_net.tolist()
 
         def build(edge_index: int) -> List[TdmWire]:
             wires: List[TdmWire] = []
@@ -84,7 +94,14 @@ class WireAssigner:
                 budget = wire_budgets[(edge_index, direction)]
                 wires.extend(
                     self._assign_directed_edge(
-                        edge_index, direction, pairs, budget, ratios, criticality, stats
+                        edge_index,
+                        direction,
+                        pairs,
+                        budget,
+                        ratio_list,
+                        crit_list,
+                        pair_net,
+                        stats,
                     )
                 )
             return wires
@@ -128,8 +145,9 @@ class WireAssigner:
         direction: int,
         pairs: List[int],
         budget: int,
-        ratios: np.ndarray,
-        criticality: np.ndarray,
+        ratios: List[float],
+        criticality: List[float],
+        pair_net: List[int],
         stats: WireAssignmentStats,
     ) -> List[TdmWire]:
         """The paper's greedy for one directed edge."""
@@ -145,28 +163,28 @@ class WireAssigner:
             group = order[cursor : cursor + wire_ratio]
             wire = TdmWire(edge_index=edge_index, direction=direction, ratio=wire_ratio)
             for pair in group:
-                wire.add_net(int(self.incidence.pair_net[pair]))
+                wire.add_net(pair_net[pair])
             wires.append(wire)
             cursor += len(group)
 
         # Leftover demand: fold onto existing wires, preferring headroom,
         # otherwise bump the wire whose nets are least critical.
         if cursor < len(order):
-            wire_crit = self._wire_criticalities(wires, pairs, criticality)
+            wire_crit = self._wire_criticalities(wires, pairs, criticality, pair_net)
             for pair in order[cursor:]:
                 target = self._pick_wire_for_leftover(wires, wire_crit)
                 wire = wires[target]
                 if wire.demand >= wire.ratio:
                     wire.ratio += step
                     stats.overflow_bumps += 1
-                wire.add_net(int(self.incidence.pair_net[pair]))
-                wire_crit[target] = max(wire_crit[target], float(criticality[pair]))
+                wire.add_net(pair_net[pair])
+                wire_crit[target] = max(wire_crit[target], criticality[pair])
 
         # Leftover capacity: give the most critical shared nets private
         # wires at the minimum ratio.
         spare = budget - len(wires)
         if spare > 0 and wires:
-            pair_wire = self._pair_wire_map(wires, order)
+            pair_wire = self._pair_wire_map(wires, order, pair_net)
             candidates = sorted(
                 (p for p in pairs if p in pair_wire),
                 key=lambda p: -criticality[p],
@@ -177,7 +195,7 @@ class WireAssigner:
                 source = wires[pair_wire[pair]]
                 if source.demand < 2 or source.ratio <= step:
                     continue
-                net = int(self.incidence.pair_net[pair])
+                net = pair_net[pair]
                 source.net_indices.remove(net)
                 fresh = TdmWire(
                     edge_index=edge_index, direction=direction, ratio=step
@@ -207,20 +225,23 @@ class WireAssigner:
             return best
         return int(np.argmin(wire_crit))
 
+    @staticmethod
     def _wire_criticalities(
-        self, wires: List[TdmWire], pairs: List[int], criticality: np.ndarray
+        wires: List[TdmWire],
+        pairs: List[int],
+        criticality: List[float],
+        pair_net: List[int],
     ) -> List[float]:
         """Max criticality of the nets currently on each wire."""
-        net_crit = {
-            int(self.incidence.pair_net[p]): float(criticality[p]) for p in pairs
-        }
+        net_crit = {pair_net[p]: criticality[p] for p in pairs}
         return [
             max((net_crit.get(net, 0.0) for net in wire.net_indices), default=0.0)
             for wire in wires
         ]
 
+    @staticmethod
     def _pair_wire_map(
-        self, wires: List[TdmWire], order: List[int]
+        wires: List[TdmWire], order: List[int], pair_net: List[int]
     ) -> Dict[int, int]:
         """Map each assigned pair to the index of its wire."""
         net_to_wire: Dict[int, int] = {}
@@ -228,7 +249,7 @@ class WireAssigner:
             for net in wire.net_indices:
                 net_to_wire[net] = index
         return {
-            pair: net_to_wire[int(self.incidence.pair_net[pair])]
+            pair: net_to_wire[pair_net[pair]]
             for pair in order
-            if int(self.incidence.pair_net[pair]) in net_to_wire
+            if pair_net[pair] in net_to_wire
         }

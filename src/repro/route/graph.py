@@ -25,6 +25,12 @@ class RoutingGraph:
         is_tdm: per-edge boolean array (True for TDM edges).
         capacity: per-edge capacity array.
         adjacency: per-die list of ``(edge_index, other_die)`` pairs.
+        csr_indptr / csr_edge / csr_die: the same adjacency flattened to
+            CSR form — the neighbors of die ``v`` are
+            ``csr_edge[csr_indptr[v]:csr_indptr[v+1]]`` (edge indices) and
+            ``csr_die[...]`` (opposite dies), in ``adjacency`` order so
+            array-driven searches relax edges in the identical order as
+            list-driven ones (bit-equal tie-breaking).
     """
 
     def __init__(self, system: MultiFpgaSystem) -> None:
@@ -50,6 +56,39 @@ class RoutingGraph:
         ]
         self.tdm_edge_indices = np.flatnonzero(self.is_tdm)
         self.sll_edge_indices = np.flatnonzero(~self.is_tdm)
+        # CSR flattening of ``adjacency`` (built once; the search kernel
+        # indexes Python-list mirrors of these in its hot loop).
+        indptr = [0]
+        edge_ids: List[int] = []
+        neighbor_dies: List[int] = []
+        for die in range(self.num_dies):
+            for edge_index, other in self.adjacency[die]:
+                edge_ids.append(edge_index)
+                neighbor_dies.append(other)
+            indptr.append(len(edge_ids))
+        self.csr_indptr = np.asarray(indptr, dtype=np.int64)
+        self.csr_edge = np.asarray(edge_ids, dtype=np.int64)
+        self.csr_die = np.asarray(neighbor_dies, dtype=np.int64)
+        # Flat die-pair -> edge-index table (-1 when not adjacent) so hot
+        # loops resolve hops without a dict probe on a tuple key.
+        table = [-1] * (self.num_dies * self.num_dies)
+        for edge_index in range(self.num_edges):
+            a = int(self.die_a[edge_index])
+            b = int(self.die_b[edge_index])
+            table[a * self.num_dies + b] = edge_index
+            table[b * self.num_dies + a] = edge_index
+        self._edge_table = table
+
+    def edge_index_between(self, frm: int, to: int) -> int:
+        """Edge index between two adjacent dies (O(1)).
+
+        Raises:
+            ValueError: if the dies are not adjacent.
+        """
+        edge_index = self._edge_table[frm * self.num_dies + to]
+        if edge_index < 0:
+            raise ValueError(f"dies {frm} and {to} are not adjacent")
+        return edge_index
 
     def other_endpoint(self, edge_index: int, die: int) -> int:
         """Return the endpoint of ``edge_index`` opposite to ``die``."""

@@ -58,7 +58,17 @@ class RoutingSolution:
         self._edge_nets: List[Set[int]] = []
         self._net_uses: Dict[int, List[NetEdgeUse]] = {}
         self._directed_nets: Dict[Tuple[int, int], List[int]] = {}
-        self._conn_hops: List[Optional[List[Tuple[int, int]]]] = []
+        #: Per-connection (edge_index, direction) hops, maintained by
+        #: :meth:`set_path` so no consumer re-derives them from die paths.
+        self._conn_hops: List[Optional[List[Tuple[int, int]]]] = [
+            None
+        ] * netlist.num_connections
+        #: Hop lists memoized per distinct die path: connections share
+        #: few distinct paths, and the lists are never mutated.
+        self._hops_memo: Dict[Tuple[int, ...], List[Tuple[int, int]]] = {}
+        self._is_tdm: List[bool] = [
+            edge.kind is EdgeKind.TDM for edge in system.edges
+        ]
 
     # ------------------------------------------------------------------
     # Topology
@@ -81,14 +91,22 @@ class RoutingSolution:
                 f"path {list(dies)} does not run from die {conn.source_die} "
                 f"to die {conn.sink_die}"
             )
-        # Validates adjacency and loop-freedom.
-        path_to_edge_list(self.system, dies)
-        self._paths[connection_index] = tuple(dies)
+        # Validates adjacency and loop-freedom (once per distinct path);
+        # the hops are kept so no later pass (usage cache, timing,
+        # incidence) re-derives them.
+        key = tuple(dies)
+        hops = self._hops_memo.get(key)
+        if hops is None:
+            hops = path_to_edge_list(self.system, dies)
+            self._hops_memo[key] = hops
+        self._conn_hops[connection_index] = hops
+        self._paths[connection_index] = key
         self._cache_valid = False
 
     def clear_path(self, connection_index: int) -> None:
         """Remove the routed path of a connection."""
         self._paths[connection_index] = None
+        self._conn_hops[connection_index] = None
         self._cache_valid = False
 
     def path(self, connection_index: int) -> Optional[Tuple[int, ...]]:
@@ -97,7 +115,6 @@ class RoutingSolution:
 
     def path_hops(self, connection_index: int) -> List[Tuple[int, int]]:
         """``(edge_index, direction)`` hops of a connection's path."""
-        self._ensure_cache()
         hops = self._conn_hops[connection_index]
         if hops is None:
             raise ValueError(f"connection {connection_index} is unrouted")
@@ -121,25 +138,23 @@ class RoutingSolution:
         self._edge_nets = [set() for _ in range(self.system.num_edges)]
         self._net_uses = {}
         self._directed_nets = {}
-        self._conn_hops = [None] * self.netlist.num_connections
+        is_tdm = self._is_tdm
         seen_uses: Set[NetEdgeUse] = set()
         for conn in self.netlist.connections:
-            path = self._paths[conn.index]
-            if path is None:
+            hops = self._conn_hops[conn.index]
+            if hops is None:
                 continue
-            hops = path_to_edge_list(self.system, path)
-            self._conn_hops[conn.index] = hops
+            net_index = conn.net_index
             for edge_index, direction in hops:
-                self._edge_nets[edge_index].add(conn.net_index)
-                edge = self.system.edge(edge_index)
-                if edge.kind is EdgeKind.TDM:
-                    use = (conn.net_index, edge_index, direction)
+                self._edge_nets[edge_index].add(net_index)
+                if is_tdm[edge_index]:
+                    use = (net_index, edge_index, direction)
                     if use not in seen_uses:
                         seen_uses.add(use)
-                        self._net_uses.setdefault(conn.net_index, []).append(use)
+                        self._net_uses.setdefault(net_index, []).append(use)
                         self._directed_nets.setdefault(
                             (edge_index, direction), []
-                        ).append(conn.net_index)
+                        ).append(net_index)
         self._cache_valid = True
 
     def edge_nets(self, edge_index: int) -> Set[int]:
@@ -212,6 +227,7 @@ class RoutingSolution:
         for index, path in enumerate(self._paths):
             if path is not None:
                 clone._paths[index] = path
+                clone._conn_hops[index] = self._conn_hops[index]
         clone._cache_valid = False
         return clone
 

@@ -29,13 +29,13 @@ def path_to_edge_list(
         raise ValueError("a path needs at least one die")
     if len(set(dies)) != len(dies):
         raise ValueError(f"path revisits a die: {list(dies)}")
+    hop = system.hop
     hops: List[Tuple[int, int]] = []
     for from_die, to_die in zip(dies, dies[1:]):
-        edge = system.edge_between(from_die, to_die)
-        if edge is None:
+        pair = hop(from_die, to_die)
+        if pair is None:
             raise ValueError(f"dies {from_die} and {to_die} are not adjacent")
-        direction = 0 if from_die == edge.die_a else 1
-        hops.append((edge.index, direction))
+        hops.append(pair)
     return hops
 
 

@@ -159,16 +159,42 @@ class TimingAnalyzer:
         net_worst: Dict[int, float] = {}
         critical = 0.0
         critical_index = -1
+        # Inlined connection_timing: this runs per connection on every
+        # analysis (several times per routing), so it avoids the
+        # per-connection dataclass and per-hop edge-object lookups.
+        model = self.delay_model
+        d_sll = model.d_sll
+        tdm_delay = model.tdm_delay
+        min_ratio = model.tdm_step
+        is_tdm = [e.kind is EdgeKind.TDM for e in self.system.edges]
+        ratios = solution.ratios
+        ratio_get = ratios.get
         for conn in self.netlist.connections:
-            timing = self.connection_timing(
-                solution, conn.index, assume_min_ratio=assume_min_ratio
-            )
-            delays.append(timing.delay)
-            worst = net_worst.get(conn.net_index, 0.0)
-            if timing.delay > worst:
-                net_worst[conn.net_index] = timing.delay
-            if timing.delay > critical:
-                critical = timing.delay
+            net_index = conn.net_index
+            # Two accumulators summed at the end, exactly like
+            # connection_timing, so both paths yield bit-equal delays.
+            sll_sum = 0.0
+            tdm_sum = 0.0
+            for edge_index, direction in solution.path_hops(conn.index):
+                if is_tdm[edge_index]:
+                    ratio = ratio_get((net_index, edge_index, direction))
+                    if ratio is None:
+                        if not assume_min_ratio:
+                            raise KeyError(
+                                f"no TDM ratio for net {net_index} on edge "
+                                f"{edge_index} direction {direction}"
+                            )
+                        ratio = min_ratio
+                    tdm_sum += tdm_delay(ratio)
+                else:
+                    sll_sum += d_sll
+            delay = sll_sum + tdm_sum
+            delays.append(delay)
+            worst = net_worst.get(net_index, 0.0)
+            if delay > worst:
+                net_worst[net_index] = delay
+            if delay > critical:
+                critical = delay
                 critical_index = conn.index
         return TimingReport(
             critical_delay=critical,
