@@ -1,12 +1,19 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast perf examples suite trace clean
+.PHONY: install test lint bench bench-fast perf examples suite trace clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Invariant linter (docs/static-analysis.md).  Also runs inside tier-1
+# via tests/test_lint_rules.py; this target is the fast direct path and
+# leaves a machine-readable findings file for CI artifacts.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.cli.lint_cli src/repro \
+		--output lint_findings.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -45,5 +52,5 @@ trace:
 
 clean:
 	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info
-	rm -f trace.jsonl run_report.json BENCH_*.json
+	rm -f trace.jsonl run_report.json BENCH_*.json lint_findings.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

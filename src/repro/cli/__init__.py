@@ -4,4 +4,5 @@
   write the solution.
 * ``repro-eval`` — independently evaluate a solution file: DRC + timing.
 * ``repro-gen`` — generate contest-suite case files.
+* ``repro-lint`` — run the AST invariant linter (:mod:`repro.lint`).
 """

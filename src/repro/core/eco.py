@@ -77,7 +77,7 @@ class EcoRouter:
         """Rip up and re-route the given nets of an existing solution."""
         netlist = solution.netlist
         targets = set(net_indices)
-        for net_index in targets:
+        for net_index in sorted(targets):
             if not 0 <= net_index < netlist.num_nets:
                 raise ValueError(f"unknown net index {net_index}")
         fresh = solution.copy_topology()

@@ -122,7 +122,10 @@ class WireAssigner:
                     continue
                 used = sum(1 for wire in wires if wire.direction == direction)
                 tracer.observe(
-                    f"wire_assignment.utilization.dir{direction}", used / budget
+                    "wire_assignment.utilization.dir0"
+                    if direction == 0
+                    else "wire_assignment.utilization.dir1",
+                    used / budget,
                 )
         tracer.add("wire_assignment.wires_used", stats.wires_used)
         tracer.add("wire_assignment.nets_assigned", stats.nets_assigned)

@@ -121,7 +121,7 @@ def write_case_json(
 ) -> None:
     """Write a case as JSON."""
     Path(path).write_text(
-        json.dumps(case_to_dict(system, netlist, delay_model), indent=1)
+        json.dumps(case_to_dict(system, netlist, delay_model), indent=1, sort_keys=True)
     )
 
 
@@ -222,7 +222,9 @@ def solution_from_dict(
 
 def write_solution_json(path: Union[str, Path], solution: RoutingSolution) -> None:
     """Write a solution as JSON."""
-    Path(path).write_text(json.dumps(solution_to_dict(solution), indent=1))
+    Path(path).write_text(
+        json.dumps(solution_to_dict(solution), indent=1, sort_keys=True)
+    )
 
 
 def read_solution_json(

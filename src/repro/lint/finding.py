@@ -1,0 +1,106 @@
+"""The unit of lint output: one rule firing at one source location.
+
+A :class:`Finding` is deliberately flat and JSON-ready so the text and
+``--format json`` renderers (and the CI artifact consumers behind them)
+share one representation.  Suppressed findings are *kept*, flagged with
+``suppressed=True``, so a trace of every ``# lint: disable=`` escape
+hatch survives into the machine-readable output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class Finding:
+    """One rule violation (or suppressed violation) at a source location.
+
+    Attributes:
+        rule_id: stable rule identifier (``REPRO001``...); sorting and
+            suppression match on this string.
+        path: file the finding is in, as given to the engine.
+        line: 1-based source line.
+        col: 0-based column (``ast`` convention).
+        message: what is wrong, specific to the call site.
+        remedy: what the offender should use instead.
+        suppressed: True when a ``# lint: disable=`` comment on the
+            offending line (or a file-level disable) covers this rule.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    remedy: str
+    suppressed: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict form (one entry of the findings file)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "remedy": self.remedy,
+            "suppressed": self.suppressed,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form (``path:line:col: RULE message``)."""
+        tag = " [suppressed]" if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule_id}{tag} "
+            f"{self.message} — {self.remedy}"
+        )
+
+    def sort_key(self):
+        """Stable ordering: by path, then line, column and rule id."""
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, plus counts for gating.
+
+    Attributes:
+        findings: every finding, suppressed ones included, in
+            :meth:`Finding.sort_key` order.
+        files_scanned: number of files parsed.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that count toward the exit code (not suppressed)."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        """Findings silenced by ``# lint: disable=`` comments."""
+        return [f for f in self.findings if f.suppressed]
+
+    def by_rule(self) -> Dict[str, int]:
+        """Active finding count per rule id (sorted by id)."""
+        counts: Dict[str, int] = {}
+        for finding in self.active:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return {rule_id: counts[rule_id] for rule_id in sorted(counts)}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready document for ``--format json`` / CI artifacts."""
+        return {
+            "schema": "repro.lint.findings/v1",
+            "files_scanned": self.files_scanned,
+            "summary": {
+                "active": len(self.active),
+                "suppressed": len(self.suppressed),
+                "by_rule": self.by_rule(),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+        }

@@ -1,0 +1,468 @@
+"""The repro rule pack: this repository's invariants as lint rules.
+
+Every rule guards a property the benchmarks or the paper-claims tests
+rely on.  The three themes:
+
+* **Determinism** — bit-identical reruns and thread-count-independent
+  results (CONTRIBUTING's "determinism is a feature") need seeded RNGs
+  (REPRO003), ordered iteration in routing decisions (REPRO005), no
+  tie-breaking on float equality (REPRO006) and order-independent
+  serialization (REPRO007).
+* **Observability discipline** — spans are the sanctioned clock
+  (REPRO001), loggers the sanctioned progress channel (REPRO002,
+  REPRO009), and metric names a closed, documentable vocabulary
+  (REPRO008) so ``docs/observability.md`` can enumerate them.
+* **Configuration hygiene** — behaviour flows through ``RouterConfig``
+  and CLI flags, never ambient process state (REPRO010), and never
+  through shared mutable defaults (REPRO004).
+
+Rule ids are stable and never recycled; retired rules leave a tombstone
+comment here.  To add a rule, subclass :class:`~repro.lint.engine.Rule`,
+decorate with :func:`~repro.lint.engine.register`, and extend the fixture
+matrix in ``tests/test_lint_rules.py`` (every rule must prove it fires
+and stays quiet) — see ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from repro.lint.engine import (
+    FileContext,
+    Rule,
+    dotted_name,
+    iter_scope_nodes,
+    register,
+)
+from repro.lint.finding import Finding
+
+#: Core routing layers whose hot paths must stay deterministic.
+_DETERMINISTIC_SCOPES = ("repro.core", "repro.route")
+
+#: Layers allowed to talk to the terminal directly.
+_TERMINAL_SCOPES = ("repro.cli", "repro.report")
+
+
+@register
+class WallClockRule(Rule):
+    """REPRO001: no wall-clock reads in the routing layers.
+
+    Spans (``tracer.span``) and ``time.perf_counter`` are the sanctioned
+    clocks: they are monotonic, and phase timings derived from them make
+    run reports comparable across machines.  ``time.time()`` and the
+    ``datetime.now()`` family leak wall-clock values into results and
+    break trace relocatability.
+    """
+
+    rule_id = "REPRO001"
+    title = "no wall-clock in core layers"
+    rationale = (
+        "wall-clock reads make run reports non-relocatable and leak "
+        "nondeterminism into timing-driven decisions"
+    )
+    remedy = "use a repro.obs span (or time.perf_counter for raw intervals)"
+    node_types = (ast.Call,)
+    include = ("repro.core", "repro.route", "repro.timing", "repro.drc")
+
+    _FORBIDDEN = frozenset(
+        {
+            "time.time",
+            "time.clock",
+            "datetime.now",
+            "datetime.utcnow",
+            "datetime.today",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "date.today",
+            "datetime.date.today",
+        }
+    )
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        """Flag calls whose dotted target is a wall-clock read."""
+        name = dotted_name(node.func)
+        if name in self._FORBIDDEN:
+            yield ctx.finding(self, node, f"wall-clock call {name}()")
+
+
+@register
+class PrintRule(Rule):
+    """REPRO002: no ``print()`` outside the CLI and report layers.
+
+    Progress belongs to ``repro.obs.get_logger`` (filterable, stderr,
+    machine-parsable); deliverable text belongs to ``repro.report`` /
+    ``repro.cli``.  A stray ``print`` in a library layer corrupts piped
+    stdout (solution files, JSON) and cannot be silenced by log level.
+    """
+
+    rule_id = "REPRO002"
+    title = "no print outside cli/report"
+    rationale = (
+        "stray prints corrupt piped solution/JSON output and bypass "
+        "log-level control"
+    )
+    remedy = "use repro.obs.get_logger(...)"
+    node_types = (ast.Call,)
+    exclude = _TERMINAL_SCOPES
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        """Flag any call to the ``print`` builtin."""
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            yield ctx.finding(self, node, "print() in a library layer")
+
+
+@register
+class UnseededRandomRule(Rule):
+    """REPRO003: no global/unseeded RNG anywhere.
+
+    Reruns must be bit-identical (CONTRIBUTING: "no unseeded randomness
+    anywhere").  The module-level ``random.*`` functions share hidden
+    global state; ``random.Random()`` / ``numpy.random.default_rng()``
+    without a seed draw from the OS.  Generators and tie-breakers must
+    construct ``random.Random(seed)`` (benchgen/partition style) and
+    thread it down explicitly.
+    """
+
+    rule_id = "REPRO003"
+    title = "no unseeded or global RNG"
+    rationale = (
+        "global RNG state and OS-seeded generators break bit-identical "
+        "reruns of Table II/III numbers"
+    )
+    remedy = (
+        "construct random.Random(seed) / numpy.random.default_rng(seed) "
+        "and pass it down"
+    )
+    node_types = (ast.Call,)
+
+    _ALLOWED_RANDOM_ATTRS = frozenset({"Random", "SystemRandom"})
+    _ALLOWED_NUMPY_ATTRS = frozenset({"default_rng", "Generator", "SeedSequence"})
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        """Flag global-RNG calls and seedless generator constructions."""
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        parts = name.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] in self._ALLOWED_RANDOM_ATTRS:
+                if parts[1] == "Random" and not node.args:
+                    yield ctx.finding(
+                        self, node, "random.Random() constructed without a seed"
+                    )
+            else:
+                yield ctx.finding(
+                    self, node, f"global-state RNG call {name}()"
+                )
+        elif parts[0] in ("numpy", "np") and len(parts) >= 2 and parts[1] == "random":
+            attr = parts[-1]
+            if attr not in self._ALLOWED_NUMPY_ATTRS:
+                yield ctx.finding(
+                    self, node, f"legacy global numpy RNG call {name}()"
+                )
+            elif attr == "default_rng" and not node.args:
+                yield ctx.finding(
+                    self, node, "numpy default_rng() constructed without a seed"
+                )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """REPRO004: no mutable argument defaults.
+
+    A ``def f(x, cache={})`` default is evaluated once and shared across
+    every call — state leaks between routing runs and between tests.
+    """
+
+    rule_id = "REPRO004"
+    title = "no mutable argument defaults"
+    rationale = "shared default objects leak state between routing runs"
+    remedy = (
+        "default to None and construct inside, or use "
+        "dataclasses.field(default_factory=...)"
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    _FACTORY_NAMES = frozenset({"list", "dict", "set", "bytearray"})
+
+    def _is_mutable(self, default: ast.AST) -> bool:
+        if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(default, ast.Call)
+            and isinstance(default.func, ast.Name)
+            and default.func.id in self._FACTORY_NAMES
+        )
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        """Flag list/dict/set (display or constructor) defaults."""
+        args = node.args
+        defaults = list(args.defaults) + [d for d in args.kw_defaults if d]
+        for default in defaults:
+            if self._is_mutable(default):
+                yield ctx.finding(
+                    self,
+                    default,
+                    f"mutable default argument in {node.name}()",
+                )
+
+
+@register
+class UnorderedSetIterationRule(Rule):
+    """REPRO005: no iteration over sets in the routing hot paths.
+
+    Set iteration order depends on insertion history and hashing; any
+    routing decision fed from it (rip-up order, victim selection, edge
+    refresh order feeding tie-breaks) can differ between runs.  Core and
+    route code must iterate ``sorted(the_set)`` — the ``sorted()`` wrapper
+    is also self-documenting at the call site.
+
+    Detection is intentionally syntactic: direct iteration over a set
+    display / ``set(...)`` call, or over a local name bound to one in the
+    same function scope.  Sets that only serve membership tests are fine.
+    """
+
+    rule_id = "REPRO005"
+    title = "no unordered set iteration in core/route"
+    rationale = (
+        "set iteration order is not a stable function of the input and "
+        "leaks into rip-up and tie-break decisions"
+    )
+    remedy = "iterate sorted(the_set) (or keep a parallel ordered list)"
+    node_types = (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef)
+    include = _DETERMINISTIC_SCOPES
+
+    _SET_CALLS = frozenset({"set", "frozenset"})
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._SET_CALLS
+        )
+
+    def visit(self, scope: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        """Flag set-valued iterables in ``for`` loops and comprehensions."""
+        set_names: Set[str] = set()
+        scope_nodes = list(iter_scope_nodes(scope))
+        for node in scope_nodes:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and self._is_set_expr(node.value)
+            ):
+                set_names.add(node.targets[0].id)
+        for node in scope_nodes:
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.comprehension)):
+                iterable = node.iter
+            else:
+                continue
+            if self._is_set_expr(iterable):
+                yield ctx.finding(
+                    self, iterable, "iteration directly over a set expression"
+                )
+            elif isinstance(iterable, ast.Name) and iterable.id in set_names:
+                yield ctx.finding(
+                    self,
+                    iterable,
+                    f"iteration over set-valued local {iterable.id!r}",
+                )
+
+
+@register
+class FloatEqualityRule(Rule):
+    """REPRO006: no exact float-literal comparisons in timing math.
+
+    Delay and Lagrangian-multiplier arithmetic accumulates rounding
+    error; ``x == 0.5`` style guards flip on the last ulp and change
+    which connection is "critical" between otherwise identical runs.
+    """
+
+    rule_id = "REPRO006"
+    title = "no float-literal ==/!= in timing math"
+    rationale = (
+        "exact float comparison flips on rounding noise and changes "
+        "critical-path selection between runs"
+    )
+    remedy = "compare with math.isclose(...) or an explicit tolerance"
+    node_types = (ast.Compare,)
+    include = ("repro.timing", "repro.core.lagrangian", "repro.core.cost")
+
+    @staticmethod
+    def _is_float_literal(node: ast.AST) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)
+        ):
+            node = node.operand
+        return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+    def visit(self, node: ast.Compare, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ``==``/``!=`` where either side is a float literal."""
+        operands = [node.left] + list(node.comparators)
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            if self._is_float_literal(left) or self._is_float_literal(right):
+                yield ctx.finding(
+                    self, node, "exact ==/!= against a float literal"
+                )
+                return
+
+
+@register
+class JsonSortKeysRule(Rule):
+    """REPRO007: ``repro.io`` JSON writers must sort keys.
+
+    The JSON mirror formats exist for interop; their byte output must not
+    depend on dict insertion order, or re-serializing an untouched case
+    produces spurious diffs.  Every ``json.dump(s)`` call in ``repro.io``
+    passes ``sort_keys=True``.
+    """
+
+    rule_id = "REPRO007"
+    title = "repro.io JSON writers sort keys"
+    rationale = (
+        "insertion-ordered output makes byte-level diffs depend on code "
+        "paths rather than content"
+    )
+    remedy = "pass sort_keys=True to json.dump/json.dumps"
+    node_types = (ast.Call,)
+    include = ("repro.io",)
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ``json.dump(s)`` calls without ``sort_keys=True``."""
+        name = dotted_name(node.func)
+        if name not in ("json.dump", "json.dumps"):
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "sort_keys":
+                value = keyword.value
+                if isinstance(value, ast.Constant) and value.value is True:
+                    return
+                yield ctx.finding(
+                    self, node, f"{name}() with sort_keys not literally True"
+                )
+                return
+        yield ctx.finding(self, node, f"{name}() without sort_keys=True")
+
+
+@register
+class MetricNameLiteralRule(Rule):
+    """REPRO008: obs span/counter/gauge names must be static strings.
+
+    ``docs/observability.md`` enumerates the full metric vocabulary and
+    the run-report schema checks lean on it; a name interpolated at
+    runtime (f-string, ``+``, ``.format``) creates an open-ended
+    namespace no document or dashboard can enumerate.  Allowed forms:
+    a string literal, a module-level string constant (``PHASE_IR``
+    style), or a conditional expression choosing between such values.
+    """
+
+    rule_id = "REPRO008"
+    title = "obs metric names are static strings"
+    rationale = (
+        "runtime-built metric names create an unenumerable vocabulary "
+        "that docs and dashboards cannot track"
+    )
+    remedy = (
+        "use a string literal or module-level constant (split per-variant "
+        "names into explicit literals)"
+    )
+    node_types = (ast.Call,)
+
+    _EMITTERS = frozenset({"span", "add", "gauge", "observe", "event"})
+
+    def _is_static(self, node: ast.AST, ctx: FileContext) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return True
+        if isinstance(node, ast.Name) and node.id in ctx.module_constants:
+            return True
+        if isinstance(node, ast.IfExp):
+            return self._is_static(node.body, ctx) and self._is_static(
+                node.orelse, ctx
+            )
+        return False
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        """Flag tracer emission calls whose name argument is dynamic."""
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in self._EMITTERS:
+            return
+        receiver = dotted_name(func.value)
+        if receiver is None or "tracer" not in receiver.lower():
+            return
+        if not node.args:
+            return
+        if not self._is_static(node.args[0], ctx):
+            yield ctx.finding(
+                self,
+                node.args[0],
+                f"dynamic metric name passed to {receiver}.{func.attr}()",
+            )
+
+
+@register
+class StdStreamRule(Rule):
+    """REPRO009: no direct ``sys.stdout``/``sys.stderr`` use in libraries.
+
+    Companion to REPRO002: writing to the process streams from a library
+    layer bypasses both the logging configuration and the report
+    renderers.  Only ``repro.cli``, ``repro.report`` and the obs logging
+    setup may touch them.
+    """
+
+    rule_id = "REPRO009"
+    title = "no sys.stdout/stderr outside cli/report/obs"
+    rationale = (
+        "direct stream writes bypass log-level control and corrupt "
+        "piped output, same failure mode as print()"
+    )
+    remedy = "use repro.obs.get_logger(...) or return text to the caller"
+    node_types = (ast.Attribute,)
+    exclude = _TERMINAL_SCOPES + ("repro.obs",)
+
+    def visit(self, node: ast.Attribute, ctx: FileContext) -> Iterator[Finding]:
+        """Flag any ``sys.stdout`` / ``sys.stderr`` attribute access."""
+        if dotted_name(node) in ("sys.stdout", "sys.stderr"):
+            yield ctx.finding(self, node, f"direct use of {dotted_name(node)}")
+
+
+@register
+class EnvAccessRule(Rule):
+    """REPRO010: no environment-variable reads outside the CLI layer.
+
+    Router behaviour flows through :class:`repro.core.config.RouterConfig`
+    and explicit CLI flags so a run report fully describes its run.  An
+    ``os.environ`` read in a library layer is invisible configuration
+    that reproductions cannot see.
+    """
+
+    rule_id = "REPRO010"
+    title = "no os.environ outside cli"
+    rationale = (
+        "ambient environment reads are configuration the run report "
+        "cannot capture, breaking reproducibility of results"
+    )
+    remedy = "plumb the value through RouterConfig or a CLI flag"
+    node_types = (ast.Call, ast.Attribute)
+    exclude = ("repro.cli",)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ``os.environ`` access and ``os.getenv`` calls."""
+        if isinstance(node, ast.Attribute):
+            if dotted_name(node) == "os.environ":
+                yield ctx.finding(self, node, "os.environ access")
+        elif isinstance(node, ast.Call):
+            if dotted_name(node.func) == "os.getenv":
+                yield ctx.finding(self, node, "os.getenv() call")
+
+
+#: Scope tuples re-exported for the docs generator and tests.
+DETERMINISTIC_SCOPES: Tuple[str, ...] = _DETERMINISTIC_SCOPES
+TERMINAL_SCOPES: Tuple[str, ...] = _TERMINAL_SCOPES
