@@ -27,11 +27,13 @@ examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done
 	@echo "all examples ran cleanly"
 
-# Performance gate: runtime budgets plus the phase I kernel speedup
-# benchmark (docs/performance.md).  Emits BENCH_kernel.json.
+# Performance gate: runtime budgets plus the phase I kernel and phase II
+# pipeline speedup benchmarks (docs/performance.md).  Emits
+# BENCH_kernel.json and BENCH_phase2.json.
 perf:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_performance_guards.py -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_kernel.py --benchmark-only -q
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_phase2.py --benchmark-only -q
 
 # Table III sweep only.
 table3:

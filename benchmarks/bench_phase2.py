@@ -1,0 +1,209 @@
+"""Phase II kernel speedup: vectorized pipeline vs pure-Python reference.
+
+Runs the full phase II pipeline — incidence construction, Lagrangian
+ratio assignment, legalization and wire assignment — on contest cases in
+two configurations:
+
+* **fast**: the vectorized :class:`~repro.core.incidence.TdmIncidence`
+  constructor plus the buffered LR loop (the production path), and
+* **reference**: :func:`~repro.core.incidence.build_reference` (the
+  original per-hop Python construction) plus the unbuffered LR loop.
+
+Both share the legalizer and wire assigner, and the results must be
+bit-identical: same legalized ratios, same wire packing, same critical
+delay.  A second benchmark times the incremental incidence rebuild
+(:meth:`TdmIncidence.incremental`) against a cold rebuild after a small
+set of connections changed — the timing-reroute/ECO refine-round case.
+
+Rows land in ``BENCH_phase2.json`` (schema: benchmarks/conftest.py) so
+the before/after trajectory can be diffed across commits.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Tuple
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_case, record_bench_result, register_report
+from repro import DelayModel, RouterConfig
+from repro.core.incidence import TdmIncidence, build_reference
+from repro.core.initial_routing import InitialRouter
+from repro.core.lagrangian import LagrangianTdmAssigner
+from repro.core.legalization import TdmLegalizer
+from repro.core.wire_assignment import WireAssigner
+from repro.parallel import ParallelExecutor
+from repro.timing import TimingAnalyzer
+
+#: Cases run by this benchmark (the contest trio the guards watch).
+PHASE2_CASES = [
+    name.strip()
+    for name in os.environ.get(
+        "REPRO_BENCH_PHASE2_CASES", "case05,case06,case07"
+    ).split(",")
+    if name.strip()
+]
+
+#: Timing repetitions; the best run is reported (rejects scheduler noise).
+ROUNDS = int(os.environ.get("REPRO_BENCH_PHASE2_ROUNDS", "3"))
+
+#: Phase II pipeline wall times at the pre-PR commit (dec8cc1), best of 7
+#: runs alternated process-by-process with the optimized pipeline on the
+#: reference machine — the fixed yardstick for the PR-level speedup (the
+#: in-tree reference pipeline also got faster from the shared
+#: legalizer/assigner work, so it understates the win).
+PRE_PR_BASELINE_S = {"case05": 0.0279, "case06": 0.1447, "case07": 0.1024}
+
+#: Connections rerouted before timing the incremental rebuild (well under
+#: the router's default 20% gate).
+INCREMENTAL_PATCH = 64
+
+
+def run_pipeline(case, sol, executor, fast: bool) -> Tuple[object, object, object]:
+    """One full phase II pass over ``sol``; returns ``(lr, legal, stats)``."""
+    model = DelayModel()
+    config = RouterConfig()
+    if fast:
+        inc = TdmIncidence(case.system, case.netlist, sol, model)
+    else:
+        inc = build_reference(case.system, case.netlist, sol, model)
+    lr = LagrangianTdmAssigner(inc, config, buffered=fast).solve()
+    legal = TdmLegalizer(inc, config, executor).legalize(lr.ratios)
+    inc.write_ratios(sol, legal.ratios)
+    stats = WireAssigner(inc, config, executor).assign(
+        sol, legal.ratios, legal.wire_budgets, legal.criticality
+    )
+    return lr, legal, stats
+
+
+@pytest.mark.parametrize("case_name", PHASE2_CASES)
+def test_phase2_pipeline_speedup(benchmark, case_name):
+    case = bench_case(case_name)
+    solution = InitialRouter(case.system, case.netlist).route()
+    best = {True: float("inf"), False: float("inf")}
+    results = {}
+
+    def run():
+        # One persistent executor across every round, as in the router;
+        # interleave the two configurations so machine noise hits both.
+        # The timed window covers the pipeline stages only — the topology
+        # copy each round feeds the pipeline but is not part of it.
+        with ParallelExecutor(RouterConfig().num_workers) as executor:
+            for _ in range(ROUNDS):
+                for fast in (False, True):
+                    sol = solution.copy_topology()
+                    start = time.perf_counter()
+                    outputs = run_pipeline(case, sol, executor, fast)
+                    best[fast] = min(best[fast], time.perf_counter() - start)
+                    results[fast] = (sol, outputs)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    fast_sol, (fast_lr, fast_legal, fast_stats) = results[True]
+    ref_sol, (ref_lr, ref_legal, _) = results[False]
+    analyzer = TimingAnalyzer(case.system, case.netlist, DelayModel())
+    critical = analyzer.critical_delay(fast_sol)
+    speedup = best[False] / best[True] if best[True] else float("inf")
+    pre_pr = PRE_PR_BASELINE_S.get(case_name)
+    record_bench_result(
+        "phase2",
+        case_name,
+        wall_time_fast_s=best[True],
+        wall_time_reference_s=best[False],
+        speedup=speedup,
+        wall_time_pre_pr_s=pre_pr,
+        speedup_vs_pre_pr=(pre_pr / best[True]) if pre_pr else None,
+        critical_delay=critical,
+        num_pairs=int(fast_legal.ratios.shape[0]),
+        lr_iterations=fast_lr.history.num_iterations,
+        refinement_steps=fast_legal.refinement_steps,
+        wires_used=fast_stats.wires_used,
+    )
+    register_report(
+        "Phase II kernel speedup",
+        [
+            f"{case_name}: fast {best[True]:.3f}s vs reference {best[False]:.3f}s "
+            f"({speedup:.2f}x), delay {critical:.2f}, "
+            f"{fast_legal.ratios.shape[0]} pairs, "
+            f"{fast_lr.history.num_iterations} LR iters, "
+            f"{fast_stats.wires_used} wires"
+            + (f", {pre_pr / best[True]:.2f}x vs pre-PR" if pre_pr else ""),
+        ],
+    )
+
+    # The vectorized pipeline must not change the answer.
+    assert np.array_equal(fast_lr.ratios, ref_lr.ratios)
+    assert np.array_equal(fast_legal.ratios, ref_legal.ratios)
+    assert fast_legal.wire_budgets == ref_legal.wire_budgets
+    assert analyzer.critical_delay(ref_sol) == critical
+    for edge_index in sorted(ref_sol.wires):
+        assert [
+            (w.direction, w.ratio, sorted(w.net_indices))
+            for w in fast_sol.wires[edge_index]
+        ] == [
+            (w.direction, w.ratio, sorted(w.net_indices))
+            for w in ref_sol.wires[edge_index]
+        ]
+
+
+def test_incremental_rebuild_speedup(benchmark):
+    case = bench_case(PHASE2_CASES[-1])
+    model = DelayModel()
+    solution = InitialRouter(case.system, case.netlist).route()
+    previous = TdmIncidence(case.system, case.netlist, solution, model)
+    # Touch a small connection set (re-setting a path marks it changed the
+    # same way a timing reroute does).
+    changed = list(range(0, case.netlist.num_connections))[:INCREMENTAL_PATCH]
+    patched = solution.copy_topology()
+    for conn_index in changed:
+        patched.set_path(conn_index, list(patched.path(conn_index)))
+    best = {"cold": float("inf"), "incremental": float("inf")}
+    holder = {}
+
+    def run():
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            cold = TdmIncidence(case.system, case.netlist, patched, model)
+            best["cold"] = min(best["cold"], time.perf_counter() - start)
+            start = time.perf_counter()
+            delta = TdmIncidence.incremental(previous, patched, changed)
+            best["incremental"] = min(
+                best["incremental"], time.perf_counter() - start
+            )
+            holder["cold"], holder["delta"] = cold, delta
+        return holder
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    cold, delta = holder["cold"], holder["delta"]
+    speedup = (
+        best["cold"] / best["incremental"]
+        if best["incremental"]
+        else float("inf")
+    )
+    record_bench_result(
+        "phase2",
+        PHASE2_CASES[-1],
+        wall_time_cold_build_s=best["cold"],
+        wall_time_incremental_s=best["incremental"],
+        incremental_speedup=speedup,
+        patched_connections=len(changed),
+    )
+    register_report(
+        "Incremental incidence rebuild",
+        [
+            f"{PHASE2_CASES[-1]}: incremental {best['incremental'] * 1e3:.2f}ms "
+            f"vs cold {best['cold'] * 1e3:.2f}ms ({speedup:.2f}x) "
+            f"patching {len(changed)} connections",
+        ],
+    )
+
+    # The patched incidence must equal the cold rebuild bit-for-bit.
+    inc = delta.incidence
+    assert inc.num_pairs == cold.num_pairs
+    for name in ("inc_conn", "inc_pair", "conn_sll_delay", "dir_pairs"):
+        assert np.array_equal(getattr(inc, name), getattr(cold, name)), name

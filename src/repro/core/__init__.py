@@ -10,6 +10,12 @@ experiment).
 """
 
 from repro.core.config import RouterConfig
+from repro.core.incidence import (
+    IncidenceDelta,
+    TdmIncidence,
+    build_incidence,
+    build_reference,
+)
 from repro.core.ordering import (
     WeightMode,
     estimate_edge_weights,
@@ -31,8 +37,12 @@ __all__ = [
     "PortfolioOutcome",
     "PortfolioRouter",
     "default_portfolio",
+    "IncidenceDelta",
     "InitialRouter",
+    "TdmIncidence",
     "TimingDrivenRefiner",
+    "build_incidence",
+    "build_reference",
     "LagrangianTdmAssigner",
     "LrHistory",
     "PhaseTimes",

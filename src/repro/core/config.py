@@ -88,6 +88,12 @@ class RouterConfig:
             otherwise — ``None`` selects by that rule.
         parallel_net_threshold: net count above which ``None`` workers
             resolves to the multi-threaded executor.
+        incremental_rebuild_fraction: when a timing-reroute/ECO round
+            changed strictly fewer than this fraction of the connections,
+            phase II patches the previous
+            :class:`~repro.core.incidence.TdmIncidence` instead of
+            cold-rebuilding it (bit-identical either way).  ``0.0``
+            forces cold rebuilds.
     """
 
     mu_shared: float = 0.5
@@ -107,6 +113,7 @@ class RouterConfig:
     refine_margin_epsilon: float = 1e-6
     num_workers: int = 1
     parallel_net_threshold: int = 200_000
+    incremental_rebuild_fraction: float = 0.2
 
     def __post_init__(self) -> None:
         if not 0.0 < self.mu_shared <= 1.0:
@@ -136,3 +143,5 @@ class RouterConfig:
             raise ValueError("lr_epsilon must be positive")
         if self.refine_margin_epsilon < 0:
             raise ValueError("refine_margin_epsilon must be non-negative")
+        if not 0.0 <= self.incremental_rebuild_fraction <= 1.0:
+            raise ValueError("incremental_rebuild_fraction must be in [0, 1]")

@@ -23,6 +23,7 @@ from typing import Iterable, List, Optional, Set
 from repro.arch.system import MultiFpgaSystem
 from repro.core.config import RouterConfig
 from repro.core.cost import EdgeCostModel
+from repro.core.incidence import TdmIncidence
 from repro.core.ordering import estimate_edge_weights, floyd_warshall, order_connections
 from repro.core.pathfinder import NegotiationState
 from repro.core.router import TdmAssigner
@@ -73,8 +74,18 @@ class EcoRouter:
         self,
         solution: RoutingSolution,
         net_indices: Iterable[int],
+        prev_incidence: Optional["TdmIncidence"] = None,
     ) -> EcoResult:
-        """Rip up and re-route the given nets of an existing solution."""
+        """Rip up and re-route the given nets of an existing solution.
+
+        Args:
+            solution: the solution whose nets to reroute.
+            net_indices: nets to rip up.
+            prev_incidence: TDM incidence of ``solution``, when the caller
+                holds one (e.g. an emulation loop issuing repeated ECOs);
+                lets phase II patch it instead of cold-rebuilding when the
+                rerouted set stays small.
+        """
         netlist = solution.netlist
         targets = set(net_indices)
         for net_index in sorted(targets):
@@ -88,7 +99,9 @@ class EcoRouter:
         ]
         for conn_index in dirty:
             fresh.clear_path(conn_index)
-        return self._route_missing(netlist, fresh, protected=None)
+        return self._route_missing(
+            netlist, fresh, protected=None, prev_incidence=prev_incidence
+        )
 
     def migrate(
         self,
@@ -134,6 +147,7 @@ class EcoRouter:
         netlist: Netlist,
         solution: RoutingSolution,
         protected: Optional[Set[int]],
+        prev_incidence: Optional["TdmIncidence"] = None,
     ) -> EcoResult:
         """Route every unrouted connection, negotiate, re-run phase II."""
         graph = RoutingGraph(self.system)
@@ -224,7 +238,11 @@ class EcoRouter:
             if path is not None:
                 final.set_path(conn_index, path)
 
-        TdmAssigner(self.system, netlist, self.delay_model, self.config).assign(final)
+        TdmAssigner(self.system, netlist, self.delay_model, self.config).assign(
+            final,
+            prev_incidence=prev_incidence,
+            changed_connections=sorted(rerouted),
+        )
         analyzer = TimingAnalyzer(self.system, netlist, self.delay_model)
         critical = (
             analyzer.critical_delay(final) if netlist.num_connections else 0.0

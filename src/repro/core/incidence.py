@@ -7,11 +7,35 @@ into numpy index arrays once, so the Lagrangian iterations, legalization
 criticalities and final delay evaluation are all O(1) vectorized passes.
 This vectorization is the Python counterpart of the paper's per-edge /
 per-connection OpenMP parallelism (DESIGN.md substitution 4).
+
+Construction itself is vectorized too: the per-connection hop arrays
+(memoized on the solution per distinct die path) are concatenated into
+flat ``(hop connection, hop edge, hop direction)`` columns, the pair set
+is deduplicated with one ``np.unique`` pass in first-occurrence order,
+and the per-directed-edge grouping that legalization and wire assignment
+consume is a CSR slice (``dir_indptr`` / ``dir_pairs``) instead of a
+dict of Python lists.
+
+Two more entry points support the timing-reroute/ECO refine loops:
+
+* :meth:`TdmIncidence.incremental` patches only the rows of connections
+  that were actually rerouted and returns an :class:`IncidenceDelta`
+  that remaps per-pair state (ratios, criticalities) and the LR
+  multipliers onto the new pair index space, so each refine round
+  warm-starts instead of cold-rebuilding.
+* :func:`build_incidence` is the gated front door used by the router and
+  the standalone assigner: it picks the incremental path when few enough
+  connections changed and publishes the ``incidence.*`` obs counters.
+
+:func:`build_reference` keeps the original pure-Python construction; the
+equivalence property tests (and the phase II benchmark's reference
+pipeline) compare against it bit-for-bit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -31,11 +55,17 @@ class TdmIncidence:
         pair_net / pair_edge / pair_dir: per-pair component arrays.
         pair_cap: per-pair capacity of the owning TDM edge.
         inc_conn / inc_pair: parallel arrays with one entry per TDM hop of
-            every routed connection: connection index and pair index.
+            every routed connection: connection index and pair index
+            (sorted by connection, hops in path order).
         conn_sll_delay: per-connection constant delay from SLL hops
             (``d_SLL_c``).
         conn_tdm_hops: per-connection number of TDM hops.
         conn_net: per-connection owning net index.
+        dir_pairs / dir_indptr: CSR grouping of pair indices per directed
+            TDM edge: group ``g`` owns ``dir_pairs[dir_indptr[g]:
+            dir_indptr[g + 1]]`` (ascending pair indices); groups are
+            sorted by (edge, direction).
+        dir_edge / dir_dir: per-group edge index and direction.
     """
 
     def __init__(
@@ -48,83 +78,343 @@ class TdmIncidence:
         self.system = system
         self.netlist = netlist
         self.delay_model = delay_model
-
-        self.uses: List[NetEdgeUse] = solution.all_net_uses()
-        self.use_index: Dict[NetEdgeUse, int] = {
-            use: i for i, use in enumerate(self.uses)
-        }
-        self.num_pairs = len(self.uses)
         self.num_connections = netlist.num_connections
+        self._init_edge_columns()
 
-        self.pair_net = np.fromiter(
-            (u[0] for u in self.uses), dtype=np.int64, count=self.num_pairs
+        num_conns = self.num_connections
+        conn_net = netlist.connection_net_indices()
+        # Connections share few distinct die paths, so gather the hop
+        # arrays once per distinct path and expand them onto connections
+        # with one fancy index instead of concatenating one tiny array
+        # pair per connection.
+        get_path = solution.path
+        hop_arrays = solution.path_hop_arrays
+        path_ids: Dict[Tuple[int, ...], int] = {}
+        uniq_edges: List[np.ndarray] = []
+        uniq_dirs: List[np.ndarray] = []
+        pid_list: List[int] = []
+        for index in range(num_conns):
+            path = get_path(index)
+            pid = path_ids.get(path)
+            if pid is None:
+                if path is None:
+                    raise ValueError(f"connection {index} is unrouted")
+                pid = len(uniq_edges)
+                path_ids[path] = pid
+                edges, dirs = hop_arrays(index)
+                uniq_edges.append(edges)
+                uniq_dirs.append(dirs)
+            pid_list.append(pid)
+        if uniq_edges:
+            path_len = np.fromiter(
+                (a.shape[0] for a in uniq_edges),
+                dtype=np.int64,
+                count=len(uniq_edges),
+            )
+            path_start = np.zeros(path_len.shape[0] + 1, dtype=np.int64)
+            np.cumsum(path_len, out=path_start[1:])
+            cat_edges = np.concatenate(uniq_edges)
+            cat_dirs = np.concatenate(uniq_dirs)
+            pid = np.array(pid_list, dtype=np.int64)
+            counts = path_len[pid]
+            indptr = np.zeros(num_conns + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            # Per-connection arange into the concatenated path arrays.
+            gather = np.repeat(path_start[pid] - indptr[:-1], counts)
+            gather += np.arange(indptr[-1], dtype=np.int64)
+            hop_edge = cat_edges[gather]
+            hop_dir = cat_dirs[gather]
+        else:
+            counts = np.zeros(num_conns, dtype=np.int64)
+            hop_edge = np.zeros(0, dtype=np.int64)
+            hop_dir = np.zeros(0, dtype=np.int64)
+        hop_conn = np.repeat(np.arange(num_conns, dtype=np.int64), counts)
+
+        tdm_mask = self._edge_is_tdm[hop_edge]
+        sll_conn = hop_conn[~tdm_mask]
+        conn_sll = np.bincount(
+            sll_conn,
+            weights=np.full(sll_conn.size, delay_model.d_sll),
+            minlength=num_conns,
         )
-        self.pair_edge = np.fromiter(
-            (u[1] for u in self.uses), dtype=np.int64, count=self.num_pairs
-        )
-        self.pair_dir = np.fromiter(
-            (u[2] for u in self.uses), dtype=np.int64, count=self.num_pairs
-        )
-        capacities = [edge.capacity for edge in system.edges]
-        self.pair_cap = np.fromiter(
-            (capacities[u[1]] for u in self.uses),
-            dtype=np.int64,
-            count=self.num_pairs,
+        self._assemble(
+            inc_conn=hop_conn[tdm_mask],
+            inc_edge=hop_edge[tdm_mask],
+            inc_dir=hop_dir[tdm_mask],
+            conn_net=conn_net,
+            conn_sll_delay=conn_sll,
         )
 
-        inc_conn: List[int] = []
-        inc_pair: List[int] = []
-        conn_sll = np.zeros(self.num_connections, dtype=np.float64)
-        conn_tdm = np.zeros(self.num_connections, dtype=np.int64)
-        conn_net = np.zeros(self.num_connections, dtype=np.int64)
-        is_tdm = [edge.kind is EdgeKind.TDM for edge in system.edges]
-        d_sll = delay_model.d_sll
-        use_index = self.use_index
-        for conn in netlist.connections:
-            index = conn.index
-            net_index = conn.net_index
-            conn_net[index] = net_index
-            sll_sum = 0.0
-            tdm_hops = 0
-            for edge_index, direction in solution.path_hops(index):
-                if is_tdm[edge_index]:
-                    inc_conn.append(index)
-                    inc_pair.append(use_index[(net_index, edge_index, direction)])
-                    tdm_hops += 1
-                else:
-                    sll_sum += d_sll
-            conn_sll[index] = sll_sum
-            conn_tdm[index] = tdm_hops
-        self.inc_conn = np.asarray(inc_conn, dtype=np.int64)
-        self.inc_pair = np.asarray(inc_pair, dtype=np.int64)
-        self.conn_sll_delay = conn_sll
-        self.conn_tdm_hops = conn_tdm
+    # ------------------------------------------------------------------
+    # Construction internals
+    # ------------------------------------------------------------------
+    def _init_edge_columns(self) -> None:
+        """Per-system-edge kind/capacity columns used by construction."""
+        edges = self.system.edges
+        num_edges = len(edges)
+        self._edge_is_tdm = np.fromiter(
+            (edge.kind is EdgeKind.TDM for edge in edges),
+            dtype=bool,
+            count=num_edges,
+        )
+        self._edge_capacity = np.fromiter(
+            (edge.capacity for edge in edges), dtype=np.int64, count=num_edges
+        )
+
+    def _assemble(
+        self,
+        inc_conn: np.ndarray,
+        inc_edge: np.ndarray,
+        inc_dir: np.ndarray,
+        conn_net: np.ndarray,
+        conn_sll_delay: np.ndarray,
+    ) -> None:
+        """Derive all pair/group arrays from flat per-TDM-hop columns.
+
+        ``inc_conn`` must be sorted by connection with hops in path order
+        — exactly the order a scan over connections produces — so the
+        pair set's first-occurrence order reproduces the historical
+        grouped-by-net ordering (net indices are nondecreasing over
+        connection indices by :class:`~repro.netlist.netlist.Netlist`
+        construction).
+        """
+        num_conns = self.num_connections
         self.conn_net = conn_net
+        self.conn_sll_delay = conn_sll_delay
+        self.inc_conn = inc_conn
+        self.conn_tdm_hops = np.bincount(inc_conn, minlength=num_conns).astype(
+            np.int64, copy=False
+        )
 
-        # Pair indices grouped per directed TDM edge, for legalization.
-        self._edge_dir_pairs: Dict[Tuple[int, int], List[int]] = {}
-        for i, (net, edge_index, direction) in enumerate(self.uses):
-            self._edge_dir_pairs.setdefault((edge_index, direction), []).append(i)
+        num_edges = self._edge_capacity.shape[0]
+        use_net = conn_net[inc_conn]
+        keys = (use_net * num_edges + inc_edge) * 2 + inc_dir
+        uniq, first, inverse = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        # np.unique sorts by key; recover first-occurrence order.
+        order = np.argsort(first, kind="stable")
+        rank = np.empty(order.shape[0], dtype=np.int64)
+        rank[order] = np.arange(order.shape[0], dtype=np.int64)
+        self.inc_pair = rank[inverse] if inverse.size else np.zeros(0, np.int64)
+        first_in_order = first[order]
+        self.pair_net = use_net[first_in_order]
+        self.pair_edge = inc_edge[first_in_order]
+        self.pair_dir = inc_dir[first_in_order]
+        self.num_pairs = int(uniq.shape[0])
+        self.pair_cap = self._edge_capacity[self.pair_edge]
+        # Sorted encoded keys + their pair index, for incremental remaps.
+        self._sorted_keys = uniq
+        self._key_rank = rank
+
+        # The tuple list and its reverse index are derived on demand (see
+        # the `uses` / `use_index` properties): the LR/legalization hot
+        # path never touches them.
+        self._uses: Optional[List[NetEdgeUse]] = None
+        self._use_index: Optional[Dict[NetEdgeUse, int]] = None
+
+        # CSR grouping of pair indices per directed TDM edge, sorted by
+        # (edge, direction); stable sort keeps pair indices ascending
+        # within a group (the historical dict-of-lists append order).
+        dir_key = self.pair_edge * 2 + self.pair_dir
+        self.dir_pairs = np.argsort(dir_key, kind="stable").astype(
+            np.int64, copy=False
+        )
+        group_keys, group_counts = np.unique(
+            dir_key[self.dir_pairs], return_counts=True
+        )
+        self.dir_indptr = np.zeros(group_keys.shape[0] + 1, dtype=np.int64)
+        np.cumsum(group_counts, out=self.dir_indptr[1:])
+        self.dir_edge = group_keys // 2
+        self.dir_dir = group_keys % 2
+        self._dir_group_index: Dict[Tuple[int, int], int] = {
+            key: g
+            for g, key in enumerate(
+                zip(self.dir_edge.tolist(), self.dir_dir.tolist())
+            )
+        }
+
+
+    # ------------------------------------------------------------------
+    # Lazy tuple views
+    # ------------------------------------------------------------------
+    @property
+    def uses(self) -> List[NetEdgeUse]:
+        """The (net, edge, direction) triples in pair-index order."""
+        if self._uses is None:
+            self._uses = list(
+                zip(
+                    self.pair_net.tolist(),
+                    self.pair_edge.tolist(),
+                    self.pair_dir.tolist(),
+                )
+            )
+        return self._uses
+
+    @property
+    def use_index(self) -> Dict[NetEdgeUse, int]:
+        """Reverse map from a use triple to its pair index."""
+        if self._use_index is None:
+            self._use_index = {use: i for i, use in enumerate(self.uses)}
+        return self._use_index
+
+    # ------------------------------------------------------------------
+    # Incremental rebuild
+    # ------------------------------------------------------------------
+    @classmethod
+    def incremental(
+        cls,
+        previous: "TdmIncidence",
+        solution: RoutingSolution,
+        changed_connections: Iterable[int],
+    ) -> "IncidenceDelta":
+        """Patch a previous incidence onto a partially rerouted solution.
+
+        Args:
+            previous: incidence of the pre-reroute topology.
+            solution: the rerouted topology; every connection **not** in
+                ``changed_connections`` must still have its previous path
+                (the caller — timing reroute, ECO — knows exactly which
+                connections it moved).
+            changed_connections: indices of the rerouted connections.
+
+        Returns:
+            An :class:`IncidenceDelta` whose ``incidence`` equals a cold
+            :class:`TdmIncidence` build on ``solution`` bit-for-bit, plus
+            the old-to-new pair index mapping.
+
+        Raises:
+            ValueError: when the solution belongs to a different netlist
+                or a changed index is out of range.
+        """
+        if previous.netlist is not solution.netlist:
+            raise ValueError(
+                "incremental rebuild requires the previous incidence and the "
+                "solution to share one netlist"
+            )
+        num_conns = previous.num_connections
+        changed = np.unique(np.fromiter(changed_connections, dtype=np.int64))
+        if changed.size and (changed[0] < 0 or changed[-1] >= num_conns):
+            raise ValueError("changed connection index out of range")
+        changed_mask = np.zeros(num_conns, dtype=bool)
+        changed_mask[changed] = True
+
+        inc = cls.__new__(cls)
+        inc.system = previous.system
+        inc.netlist = previous.netlist
+        inc.delay_model = previous.delay_model
+        inc.num_connections = num_conns
+        inc._edge_is_tdm = previous._edge_is_tdm
+        inc._edge_capacity = previous._edge_capacity
+
+        # Rows of unchanged connections carry over (triples reconstructed
+        # from the previous pair columns).
+        keep = ~changed_mask[previous.inc_conn]
+        kept_pairs = previous.inc_pair[keep]
+        old_conn = previous.inc_conn[keep]
+        old_edge = previous.pair_edge[kept_pairs]
+        old_dir = previous.pair_dir[kept_pairs]
+
+        # Fresh rows (and SLL delays) for the changed connections only.
+        counts = np.zeros(changed.size, dtype=np.int64)
+        edge_parts: List[np.ndarray] = []
+        dir_parts: List[np.ndarray] = []
+        for i, conn_index in enumerate(changed.tolist()):
+            edges, dirs = solution.path_hop_arrays(conn_index)
+            counts[i] = edges.shape[0]
+            edge_parts.append(edges)
+            dir_parts.append(dirs)
+        if edge_parts:
+            ch_edge = np.concatenate(edge_parts)
+            ch_dir = np.concatenate(dir_parts)
+        else:
+            ch_edge = np.zeros(0, dtype=np.int64)
+            ch_dir = np.zeros(0, dtype=np.int64)
+        ch_conn = np.repeat(changed, counts)
+        tdm_mask = inc._edge_is_tdm[ch_edge]
+        sll_rows = ch_conn[~tdm_mask]
+        conn_sll = previous.conn_sll_delay.copy()
+        if changed.size:
+            fresh_sll = np.bincount(
+                sll_rows,
+                weights=np.full(sll_rows.size, previous.delay_model.d_sll),
+                minlength=num_conns,
+            )
+            conn_sll[changed] = fresh_sll[changed]
+
+        # Merge: each connection's rows are either all-old or all-new, so
+        # a stable sort by connection restores the full scan order.
+        merged_conn = np.concatenate([old_conn, ch_conn[tdm_mask]])
+        merged_edge = np.concatenate([old_edge, ch_edge[tdm_mask]])
+        merged_dir = np.concatenate([old_dir, ch_dir[tdm_mask]])
+        order = np.argsort(merged_conn, kind="stable")
+        inc._assemble(
+            inc_conn=merged_conn[order],
+            inc_edge=merged_edge[order],
+            inc_dir=merged_dir[order],
+            conn_net=previous.conn_net,
+            conn_sll_delay=conn_sll,
+        )
+
+        # Old-pair -> new-pair mapping via the sorted key tables.
+        num_edges = inc._edge_capacity.shape[0]
+        old_keys = (
+            previous.pair_net * num_edges + previous.pair_edge
+        ) * 2 + previous.pair_dir
+        pair_map = np.full(previous.num_pairs, -1, dtype=np.int64)
+        if inc._sorted_keys.size:
+            pos = np.searchsorted(inc._sorted_keys, old_keys)
+            pos = np.minimum(pos, inc._sorted_keys.size - 1)
+            found = inc._sorted_keys[pos] == old_keys
+            pair_map[found] = inc._key_rank[pos[found]]
+        new_pair_mask = np.ones(inc.num_pairs, dtype=bool)
+        new_pair_mask[pair_map[pair_map >= 0]] = False
+        return IncidenceDelta(
+            incidence=inc,
+            pair_map=pair_map,
+            new_pair_mask=new_pair_mask,
+            changed_connections=changed,
+        )
 
     # ------------------------------------------------------------------
     # Vectorized evaluations
     # ------------------------------------------------------------------
-    def connection_delays(self, pair_ratios: np.ndarray) -> np.ndarray:
+    def connection_delays(
+        self, pair_ratios: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Per-connection delays given per-pair TDM ratios.
 
         ``d_c = d_SLL_c + Σ (d0 + d1 * r_pair)`` over the connection's TDM
         hops (Eq. 4 summed along the path).
+
+        Args:
+            pair_ratios: per-pair ratio array.
+            out: optional preallocated output of shape
+                ``(num_connections,)``; the sum is accumulated in place so
+                repeated evaluations (the LR loop) skip the output
+                allocations.
         """
         model = self.delay_model
-        delays = self.conn_sll_delay + model.d0 * self.conn_tdm_hops
+        if out is None:
+            delays = self.conn_sll_delay + model.d0 * self.conn_tdm_hops
+            if self.inc_conn.size:
+                tdm_part = np.bincount(
+                    self.inc_conn,
+                    weights=model.d1 * pair_ratios[self.inc_pair],
+                    minlength=self.num_connections,
+                )
+                delays = delays + tdm_part
+            return delays
+        np.multiply(self.conn_tdm_hops, model.d0, out=out)
+        np.add(out, self.conn_sll_delay, out=out)
         if self.inc_conn.size:
+            weights = pair_ratios[self.inc_pair]
+            np.multiply(weights, model.d1, out=weights)
             tdm_part = np.bincount(
-                self.inc_conn,
-                weights=model.d1 * pair_ratios[self.inc_pair],
-                minlength=self.num_connections,
+                self.inc_conn, weights=weights, minlength=self.num_connections
             )
-            delays = delays + tdm_part
-        return delays
+            np.add(out, tdm_part, out=out)
+        return out
 
     def pair_criticality(self, connection_delays: np.ndarray) -> np.ndarray:
         """Per-pair criticality: the largest delay of a connection crossing it.
@@ -137,22 +427,250 @@ class TdmIncidence:
             np.maximum.at(criticality, self.inc_pair, connection_delays[self.inc_conn])
         return criticality
 
+    # ------------------------------------------------------------------
+    # Directed-edge grouping
+    # ------------------------------------------------------------------
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of directed TDM edges that carry at least one net."""
+        return int(self.dir_edge.shape[0])
+
     def pairs_of_directed_edge(self, edge_index: int, direction: int) -> List[int]:
         """Pair indices of all nets crossing a directed TDM edge."""
-        return self._edge_dir_pairs.get((edge_index, direction), [])
+        return self.pair_slice_of_directed_edge(edge_index, direction).tolist()
+
+    def pair_slice_of_directed_edge(
+        self, edge_index: int, direction: int
+    ) -> np.ndarray:
+        """CSR slice view of a directed edge's pair indices (ascending).
+
+        Empty array when the directed edge carries no nets.
+        """
+        group = self._dir_group_index.get((edge_index, direction))
+        if group is None:
+            return self.dir_pairs[:0]
+        start, stop = self.dir_indptr[group], self.dir_indptr[group + 1]
+        return self.dir_pairs[start:stop]
 
     def directed_edges(self) -> List[Tuple[int, int]]:
-        """The (edge, direction) keys that actually carry nets."""
-        return sorted(self._edge_dir_pairs.keys())
+        """The (edge, direction) keys that actually carry nets, sorted."""
+        return list(zip(self.dir_edge.tolist(), self.dir_dir.tolist()))
 
+    def directed_edge_groups(self) -> Iterator[Tuple[int, int, np.ndarray]]:
+        """Yield ``(edge_index, direction, pair_indices)`` per CSR group.
+
+        The pair index array is a slice view into :attr:`dir_pairs`
+        (ascending pair indices); groups come out sorted by
+        (edge, direction).
+        """
+        indptr = self.dir_indptr
+        for group, (edge_index, direction) in enumerate(
+            zip(self.dir_edge.tolist(), self.dir_dir.tolist())
+        ):
+            yield edge_index, direction, self.dir_pairs[
+                indptr[group] : indptr[group + 1]
+            ]
+
+    # ------------------------------------------------------------------
+    # Solution scatter/gather
+    # ------------------------------------------------------------------
     def ratios_from_solution(self, solution: RoutingSolution) -> np.ndarray:
         """Gather ``solution.ratios`` into a per-pair array."""
-        ratios = np.empty(self.num_pairs, dtype=np.float64)
-        for i, use in enumerate(self.uses):
-            ratios[i] = solution.ratios[use]
-        return ratios
+        return np.fromiter(
+            map(solution.ratios.__getitem__, self.uses),
+            dtype=np.float64,
+            count=self.num_pairs,
+        )
 
     def write_ratios(self, solution: RoutingSolution, pair_ratios: np.ndarray) -> None:
         """Scatter a per-pair ratio array into ``solution.ratios``."""
-        for i, use in enumerate(self.uses):
-            solution.ratios[use] = float(pair_ratios[i])
+        solution.ratios.update(zip(self.uses, pair_ratios.tolist()))
+
+
+@dataclass
+class IncidenceDelta:
+    """An incrementally rebuilt incidence plus the pair-space remapping.
+
+    Attributes:
+        incidence: the new incidence (bit-equal to a cold rebuild).
+        pair_map: per *old* pair index, the new pair index, or ``-1`` when
+            the pair no longer exists (its net left the edge).
+        new_pair_mask: per *new* pair, ``True`` when the pair did not
+            exist in the previous incidence.
+        changed_connections: sorted connection indices that were patched.
+    """
+
+    incidence: TdmIncidence
+    pair_map: np.ndarray
+    new_pair_mask: np.ndarray
+    changed_connections: np.ndarray
+
+    def map_pair_values(
+        self, old_values: np.ndarray, default: float = 0.0
+    ) -> np.ndarray:
+        """Remap a per-old-pair array onto the new pair index space.
+
+        Pairs that survived keep their value; pairs new to this topology
+        get ``default``.  Used to carry legalized ratios/criticalities
+        across refine rounds.
+        """
+        new_values = np.full(self.incidence.num_pairs, default, dtype=np.float64)
+        kept = self.pair_map >= 0
+        new_values[self.pair_map[kept]] = np.asarray(
+            old_values, dtype=np.float64
+        )[kept]
+        return new_values
+
+    def map_multipliers(
+        self, multipliers: Optional[np.ndarray]
+    ) -> Optional[np.ndarray]:
+        """Carry LR multipliers across the rebuild.
+
+        λ lives in *connection* space (one multiplier per connection, Eq.
+        8), and a reroute changes paths, not the connection set — so the
+        warm start passes through unchanged.  Kept as an explicit step so
+        a future per-pair multiplier scheme has one place to remap.
+        """
+        return multipliers
+
+
+def build_incidence(
+    system: MultiFpgaSystem,
+    netlist: Netlist,
+    solution: RoutingSolution,
+    delay_model: DelayModel,
+    previous: Optional[TdmIncidence] = None,
+    changed_connections: Optional[Iterable[int]] = None,
+    incremental_fraction: float = 0.0,
+    tracer: Optional[object] = None,
+) -> Tuple[TdmIncidence, Optional[IncidenceDelta]]:
+    """Build an incidence, incrementally when few connections changed.
+
+    The incremental path runs when a previous incidence and the changed
+    connection set are given and the changed share is strictly below
+    ``incremental_fraction`` (the router's
+    ``RouterConfig.incremental_rebuild_fraction``, 20% by default;
+    ``0.0`` forces cold rebuilds).  Publishes the ``incidence.*``
+    counters on ``tracer`` when one is given.
+
+    Returns:
+        ``(incidence, delta)``; ``delta`` is ``None`` on a cold build.
+    """
+    changed: Optional[List[int]] = None
+    if changed_connections is not None:
+        changed = list(changed_connections)
+    if (
+        previous is not None
+        and changed is not None
+        and netlist.num_connections > 0
+        and previous.netlist is netlist
+        and len(changed) < incremental_fraction * netlist.num_connections
+    ):
+        delta = TdmIncidence.incremental(previous, solution, changed)
+        if tracer is not None:
+            tracer.add("incidence.incremental_builds", 1)
+            tracer.add("incidence.patched_connections", len(changed))
+        return delta.incidence, delta
+    incidence = TdmIncidence(system, netlist, solution, delay_model)
+    if tracer is not None:
+        tracer.add("incidence.cold_builds", 1)
+    return incidence, None
+
+
+def build_reference(
+    system: MultiFpgaSystem,
+    netlist: Netlist,
+    solution: RoutingSolution,
+    delay_model: DelayModel,
+) -> TdmIncidence:
+    """The original pure-Python incidence construction, kept as an oracle.
+
+    Builds a fully functional :class:`TdmIncidence` (including the CSR
+    grouping, derived from the historical dict-of-lists) with per-hop
+    Python loops.  The equivalence property tests assert the vectorized
+    constructor matches this bit-for-bit; the phase II benchmark uses it
+    as the reference pipeline's construction stage.
+    """
+    inc = TdmIncidence.__new__(TdmIncidence)
+    inc.system = system
+    inc.netlist = netlist
+    inc.delay_model = delay_model
+    inc.num_connections = netlist.num_connections
+    inc._init_edge_columns()
+
+    uses: List[NetEdgeUse] = solution.all_net_uses()
+    use_index: Dict[NetEdgeUse, int] = {use: i for i, use in enumerate(uses)}
+    inc._uses = uses
+    inc._use_index = use_index
+    inc.num_pairs = len(uses)
+
+    num_pairs = inc.num_pairs
+    inc.pair_net = np.fromiter(
+        (u[0] for u in uses), dtype=np.int64, count=num_pairs
+    )
+    inc.pair_edge = np.fromiter(
+        (u[1] for u in uses), dtype=np.int64, count=num_pairs
+    )
+    inc.pair_dir = np.fromiter(
+        (u[2] for u in uses), dtype=np.int64, count=num_pairs
+    )
+    capacities = [edge.capacity for edge in system.edges]
+    inc.pair_cap = np.fromiter(
+        (capacities[u[1]] for u in uses), dtype=np.int64, count=num_pairs
+    )
+
+    inc_conn: List[int] = []
+    inc_pair: List[int] = []
+    conn_sll = np.zeros(inc.num_connections, dtype=np.float64)
+    conn_tdm = np.zeros(inc.num_connections, dtype=np.int64)
+    conn_net = np.zeros(inc.num_connections, dtype=np.int64)
+    is_tdm = [edge.kind is EdgeKind.TDM for edge in system.edges]
+    d_sll = delay_model.d_sll
+    for conn in netlist.connections:
+        index = conn.index
+        net_index = conn.net_index
+        conn_net[index] = net_index
+        sll_sum = 0.0
+        tdm_hops = 0
+        for edge_index, direction in solution.path_hops(index):
+            if is_tdm[edge_index]:
+                inc_conn.append(index)
+                inc_pair.append(use_index[(net_index, edge_index, direction)])
+                tdm_hops += 1
+            else:
+                sll_sum += d_sll
+        conn_sll[index] = sll_sum
+        conn_tdm[index] = tdm_hops
+    inc.inc_conn = np.asarray(inc_conn, dtype=np.int64)
+    inc.inc_pair = np.asarray(inc_pair, dtype=np.int64)
+    inc.conn_sll_delay = conn_sll
+    inc.conn_tdm_hops = conn_tdm
+    inc.conn_net = conn_net
+
+    # Historical dict-of-lists grouping, converted to the CSR layout.
+    edge_dir_pairs: Dict[Tuple[int, int], List[int]] = {}
+    for i, (net, edge_index, direction) in enumerate(uses):
+        edge_dir_pairs.setdefault((edge_index, direction), []).append(i)
+    group_keys = sorted(edge_dir_pairs.keys())
+    inc.dir_edge = np.fromiter(
+        (key[0] for key in group_keys), dtype=np.int64, count=len(group_keys)
+    )
+    inc.dir_dir = np.fromiter(
+        (key[1] for key in group_keys), dtype=np.int64, count=len(group_keys)
+    )
+    flat: List[int] = []
+    indptr = [0]
+    for key in group_keys:
+        flat.extend(edge_dir_pairs[key])
+        indptr.append(len(flat))
+    inc.dir_pairs = np.asarray(flat, dtype=np.int64)
+    inc.dir_indptr = np.asarray(indptr, dtype=np.int64)
+    inc._dir_group_index = {key: g for g, key in enumerate(group_keys)}
+
+    # Sorted key tables for incremental remaps (as in _assemble).
+    num_edges = inc._edge_capacity.shape[0]
+    pair_keys = (inc.pair_net * num_edges + inc.pair_edge) * 2 + inc.pair_dir
+    key_order = np.argsort(pair_keys, kind="stable")
+    inc._sorted_keys = pair_keys[key_order]
+    inc._key_rank = key_order.astype(np.int64, copy=False)
+    return inc

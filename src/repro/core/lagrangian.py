@@ -63,9 +63,13 @@ class LrHistory:
 
     @property
     def best_delay(self) -> float:
-        """Best (smallest) critical delay seen across iterations."""
+        """Best (smallest) critical delay seen across iterations.
+
+        ``inf`` when no iteration ran, consistent with :attr:`final_gap`
+        (an empty history has no delay, not a zero one).
+        """
         if not self.iterations:
-            return 0.0
+            return float("inf")
         return min(it.critical_delay for it in self.iterations)
 
 
@@ -78,6 +82,14 @@ class LagrangianTdmAssigner:
         min_ratio: lower clamp on continuous ratios.  Clamping a ratio *up*
             only decreases ``Σ 1/r``, so edge capacity constraints are
             preserved.
+        update: multiplier update rule, ``"accelerated"`` (Eq. 13) or
+            ``"subgradient"`` (the classic comparison point).
+        buffered: reuse preallocated √η/ratio/delay buffers and the
+            precomputed per-pair capacity gather across iterations instead
+            of allocating fresh arrays each step.  The scatter-adds stay
+            ``np.bincount`` (the fastest scatter at these sizes), so the
+            accumulation order — and hence every result — is bit-identical
+            to the unbuffered allocation-per-iteration reference path.
         tracer: optional obs tracer; each iteration emits an
             ``lr.iteration`` event (gap, bounds, acceleration, ‖λ‖) when a
             sink is attached.
@@ -89,6 +101,7 @@ class LagrangianTdmAssigner:
         config: Optional[RouterConfig] = None,
         min_ratio: float = 1.0,
         update: str = "accelerated",
+        buffered: bool = True,
         tracer: Optional[Tracer] = None,
     ) -> None:
         self.incidence = incidence
@@ -100,6 +113,7 @@ class LagrangianTdmAssigner:
             raise ValueError("update must be 'accelerated' or 'subgradient'")
         self.min_ratio = min_ratio
         self.update = update
+        self.buffered = buffered
         # Compact per-edge grouping of pairs (the Eq. 12 solve is per edge).
         self._edge_ids, self._pair_group = np.unique(
             incidence.pair_edge, return_inverse=True
@@ -112,6 +126,14 @@ class LagrangianTdmAssigner:
             self._group_cap_minus_1 = group_caps - 1.0
         else:
             self._group_cap_minus_1 = np.zeros(0, dtype=np.float64)
+        if buffered and incidence.num_pairs:
+            num_pairs = incidence.num_pairs
+            # Per-pair gather of the per-group divisor, fixed for the run.
+            self._cap_pp = self._group_cap_minus_1[self._pair_group]
+            self._sqrt_buf = np.empty(num_pairs, dtype=np.float64)
+            self._ratio_buf = np.empty(num_pairs, dtype=np.float64)
+            self._delay_buf = np.empty(incidence.num_connections, dtype=np.float64)
+            self._lam_work = np.empty(incidence.num_connections, dtype=np.float64)
 
     # ------------------------------------------------------------------
     def solve(self, warm_start: Optional[np.ndarray] = None) -> "LrResult":
@@ -145,9 +167,13 @@ class LagrangianTdmAssigner:
         best_delays: Optional[np.ndarray] = None
         prev_lower_bound = -np.inf
 
+        buffered = self.buffered
         for iteration in range(cfg.lr_max_iterations):
             ratios = self._solve_lrs(lam)
-            delays = inc.connection_delays(ratios)
+            if buffered:
+                delays = inc.connection_delays(ratios, out=self._delay_buf)
+            else:
+                delays = inc.connection_delays(ratios)
             critical = float(delays.max())
             lower_bound = float(np.dot(lam, delays))
             gap = (critical - lower_bound) / max(lower_bound, 1e-12)
@@ -172,8 +198,10 @@ class LagrangianTdmAssigner:
                 )
             if critical < best_delay:
                 best_delay = critical
-                best_ratios = ratios
-                best_delays = delays
+                # The buffered loop reuses the ratio/delay buffers on the
+                # next iteration, so the best-so-far state is snapshotted.
+                best_ratios = ratios.copy() if buffered else ratios
+                best_delays = delays.copy() if buffered else delays
             if gap < cfg.lr_epsilon:
                 history.converged = True
                 break
@@ -188,9 +216,16 @@ class LagrangianTdmAssigner:
                 # Eq. 13 multiplicative update, then re-normalize to
                 # satisfy the KKT condition Σλ = 1 (Eq. 8).
                 if critical > 0:
-                    lam = lam * np.power(
-                        np.maximum(delays, 1e-12) / critical, acceleration
-                    )
+                    if buffered:
+                        work = self._lam_work
+                        np.maximum(delays, 1e-12, out=work)
+                        np.divide(work, critical, out=work)
+                        np.power(work, acceleration, out=work)
+                        np.multiply(lam, work, out=lam)
+                    else:
+                        lam = lam * np.power(
+                            np.maximum(delays, 1e-12) / critical, acceleration
+                        )
             else:
                 # Classic projected subgradient with a 1/k step: the
                 # comparison point the [15]-style acceleration is measured
@@ -201,7 +236,10 @@ class LagrangianTdmAssigner:
                     step = 1.0 / ((iteration + 1) * norm)
                     lam = lam + step * subgradient
                 prev_lower_bound = max(prev_lower_bound, lower_bound)
-            lam = np.maximum(lam, _LAMBDA_FLOOR)
+            if buffered:
+                np.maximum(lam, _LAMBDA_FLOOR, out=lam)
+            else:
+                lam = np.maximum(lam, _LAMBDA_FLOOR)
             lam /= lam.sum()
 
         assert best_ratios is not None and best_delays is not None
@@ -224,8 +262,30 @@ class LagrangianTdmAssigner:
 
     # ------------------------------------------------------------------
     def _solve_lrs(self, lam: np.ndarray) -> np.ndarray:
-        """Closed-form optimum of the LR subproblem (Eq. 12) per TDM edge."""
+        """Closed-form optimum of the LR subproblem (Eq. 12) per TDM edge.
+
+        The buffered path runs the identical operation sequence, reusing
+        the √η/ratio buffers and the precomputed capacity gather; the
+        scatter-adds are the same ``np.bincount`` calls either way.
+        """
         inc = self.incidence
+        if self.buffered:
+            # Eq. 10: η_ne = d1 * Σ_{c of n using e} λ_c.
+            eta = np.bincount(
+                inc.inc_pair, weights=lam[inc.inc_conn], minlength=inc.num_pairs
+            )
+            np.multiply(eta, inc.delay_model.d1, out=eta)
+            np.maximum(eta, _ETA_FLOOR, out=eta)
+            sqrt_eta = np.sqrt(eta, out=self._sqrt_buf)
+            group_sum = np.bincount(
+                self._pair_group, weights=sqrt_eta, minlength=self._num_groups
+            )
+            # Eq. 12: r_ne = (Σ_{n'} sqrt(η_{n'e})) / (sqrt(η_ne) (cap_e - 1)).
+            numer = group_sum[self._pair_group]
+            np.multiply(sqrt_eta, self._cap_pp, out=sqrt_eta)
+            np.divide(numer, sqrt_eta, out=self._ratio_buf)
+            np.maximum(self._ratio_buf, self.min_ratio, out=self._ratio_buf)
+            return self._ratio_buf
         # Eq. 10: η_ne = d1 * Σ_{c of n using e} λ_c.
         eta = inc.delay_model.d1 * np.bincount(
             inc.inc_pair, weights=lam[inc.inc_conn], minlength=inc.num_pairs

@@ -82,11 +82,12 @@ class TdmLegalizer:
         delays = inc.connection_delays(ratios)
         criticality = inc.pair_criticality(delays)
 
-        tasks = []
-        for (edge_index, direction), budget in budgets.items():
-            pairs = inc.pairs_of_directed_edge(edge_index, direction)
-            if pairs:
-                tasks.append((pairs, budget))
+        # CSR groups come out sorted by (edge, direction) and only exist
+        # when a direction carries nets — exactly the budget keys.
+        tasks = [
+            (pairs, budgets[(edge_index, direction)])
+            for edge_index, direction, pairs in inc.directed_edge_groups()
+        ]
         steps = sum(
             self.executor.map(
                 lambda task: self._refine_directed_edge(
@@ -122,14 +123,20 @@ class TdmLegalizer:
         """Assign each TDM edge's physical wires to its two directions."""
         inc = self.incidence
         budgets: Dict[Tuple[int, int], int] = {}
-        edges = sorted({edge_index for edge_index, _ in inc.directed_edges()})
-        for edge_index in edges:
+        # One vectorized reciprocal, then per-CSR-group slice sums.  The
+        # slices hold the same elements in the same (ascending pair)
+        # order as the old per-direction fancy-index gathers, so the
+        # pairwise summation is bit-identical.
+        grouped = (1.0 / continuous_ratios)[inc.dir_pairs]
+        indptr = inc.dir_indptr
+        demands_by_edge: Dict[int, List[float]] = {}
+        for group, (edge_index, direction) in enumerate(
+            zip(inc.dir_edge.tolist(), inc.dir_dir.tolist())
+        ):
+            demand = float(np.sum(grouped[indptr[group] : indptr[group + 1]]))
+            demands_by_edge.setdefault(edge_index, [0.0, 0.0])[direction] = demand
+        for edge_index, demands in demands_by_edge.items():
             capacity = inc.system.edge(edge_index).capacity
-            demands = []
-            for direction in (0, 1):
-                pairs = inc.pairs_of_directed_edge(edge_index, direction)
-                demand = float(np.sum(1.0 / continuous_ratios[pairs])) if pairs else 0.0
-                demands.append(demand)
             needed = [int(math.ceil(d - 1e-9)) if d > 0 else 0 for d in demands]
             if sum(needed) > capacity:
                 raise ValueError(
@@ -153,7 +160,7 @@ class TdmLegalizer:
     # ------------------------------------------------------------------
     def _refine_directed_edge(
         self,
-        pairs: List[int],
+        pairs: np.ndarray,
         budget: int,
         ratios: np.ndarray,
         criticality: np.ndarray,
@@ -182,21 +189,33 @@ class TdmLegalizer:
             (-crit, position) for position, crit in enumerate(local_crit)
         ]
         heapq.heapify(heap)
+        heappop = heapq.heappop
+        heappushpop = heapq.heappushpop
         steps = 0
-        while heap and margin > epsilon:
-            neg_crit, position = heapq.heappop(heap)
+        # The loop is the textbook pop / maybe-push-back queue, phrased
+        # with heappushpop: pushing the decreased net back and popping the
+        # next one is a single sift, and when the net stays the most
+        # critical it comes straight back with no heap traffic at all.
+        # The popped sequence is exactly the pop-then-push one.
+        item: Optional[Tuple[float, int]] = heap and heappop(heap) or None
+        while item is not None and margin > epsilon:
+            neg_crit, position = item
             ratio = local_ratios[position]
             if ratio <= step:
-                continue  # already at the minimum legal ratio: drop it
+                # Already at the minimum legal ratio: drop it.
+                item = heappop(heap) if heap else None
+                continue
             delta = 1.0 / (ratio - step) - 1.0 / ratio
             if delta > margin - epsilon:
-                continue  # cannot afford this net's decrease: drop it
+                # Cannot afford this net's decrease: drop it.
+                item = heappop(heap) if heap else None
+                continue
             local_ratios[position] = ratio - step
             crit = -neg_crit - crit_drop
             local_crit[position] = crit
             margin -= delta
             steps += 1
-            heapq.heappush(heap, (-crit, position))
+            item = heappushpop(heap, (-crit, position))
         if steps:
             ratios[pairs] = local_ratios
             criticality[pairs] = local_crit

@@ -8,7 +8,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.config import RouterConfig
-from repro.core.incidence import TdmIncidence
+from repro.core.incidence import TdmIncidence, build_incidence
 from repro.core.initial_routing import InitialRouter, InitialRoutingStats
 from repro.core.lagrangian import LagrangianTdmAssigner, LrHistory
 from repro.core.legalization import TdmLegalizer
@@ -156,31 +156,63 @@ class TdmAssigner:
                 workers = 1
         return ParallelExecutor(workers, tracer=self.tracer)
 
-    def assign(self, solution: RoutingSolution) -> Optional[LrHistory]:
+    def assign(
+        self,
+        solution: RoutingSolution,
+        prev_incidence: Optional[TdmIncidence] = None,
+        changed_connections: Optional[list] = None,
+    ) -> Optional[LrHistory]:
         """Assign ratios and wires in place; returns the LR history."""
-        history, _ = self.assign_with_stats(solution)
+        history, _ = self.assign_with_stats(
+            solution,
+            prev_incidence=prev_incidence,
+            changed_connections=changed_connections,
+        )
         return history
 
     def assign_with_stats(
-        self, solution: RoutingSolution
+        self,
+        solution: RoutingSolution,
+        prev_incidence: Optional[TdmIncidence] = None,
+        changed_connections: Optional[list] = None,
     ) -> "tuple[Optional[LrHistory], Optional[WireAssignmentStats]]":
-        """Like :meth:`assign` but also returns wire-assignment counters."""
+        """Like :meth:`assign` but also returns wire-assignment counters.
+
+        Args:
+            solution: the routed topology to assign ratios and wires for.
+            prev_incidence: incidence of the topology this solution was
+                derived from (e.g. before an ECO); enables the incremental
+                rebuild when few connections changed.
+            changed_connections: connection indices whose path differs
+                from ``prev_incidence``'s topology.
+        """
         tracer = self.tracer
-        incidence = TdmIncidence(self.system, self.netlist, solution, self.delay_model)
+        incidence, _ = build_incidence(
+            self.system,
+            self.netlist,
+            solution,
+            self.delay_model,
+            previous=prev_incidence,
+            changed_connections=changed_connections,
+            incremental_fraction=self.config.incremental_rebuild_fraction,
+            tracer=tracer,
+        )
         if incidence.num_pairs == 0:
             return None, None
-        executor = self._executor()
-        with tracer.span(PHASE_TA):
-            lr = LagrangianTdmAssigner(incidence, self.config, tracer=tracer)
-            lr_result = lr.solve()
-        with tracer.span(PHASE_LGWA):
-            legalizer = TdmLegalizer(incidence, self.config, executor, tracer=tracer)
-            legal = legalizer.legalize(lr_result.ratios)
-            incidence.write_ratios(solution, legal.ratios)
-            assigner = WireAssigner(incidence, self.config, executor, tracer=tracer)
-            stats = assigner.assign(
-                solution, legal.ratios, legal.wire_budgets, legal.criticality
-            )
+        with self._executor() as executor:
+            with tracer.span(PHASE_TA):
+                lr = LagrangianTdmAssigner(incidence, self.config, tracer=tracer)
+                lr_result = lr.solve()
+            with tracer.span(PHASE_LGWA):
+                legalizer = TdmLegalizer(
+                    incidence, self.config, executor, tracer=tracer
+                )
+                legal = legalizer.legalize(lr_result.ratios)
+                incidence.write_ratios(solution, legal.ratios)
+                assigner = WireAssigner(incidence, self.config, executor, tracer=tracer)
+                stats = assigner.assign(
+                    solution, legal.ratios, legal.wire_budgets, legal.criticality
+                )
         return lr_result.history, stats
 
 
@@ -229,58 +261,81 @@ class SynergisticRouter:
             )
             solution = initial.route()
 
-        lr_history, wire_stats, multipliers = self._run_phase2(solution)
-        analyzer = TimingAnalyzer(self.system, self.netlist, self.delay_model)
-        timing = analyzer.analyze(solution)
-
-        # Timing-driven outer loop: reroute measured-critical connections,
-        # re-assign ratios, keep only strict improvements.
-        moves = 0
-        if timing.critical_connection >= 0 and self.config.timing_reroute_rounds:
-            from repro.core.timing_reroute import TimingDrivenRefiner
-
-            refiner = TimingDrivenRefiner(
-                self.system, self.netlist, self.delay_model, self.config
+        # One executor serves every phase II stage of every round; its
+        # thread pool (when parallel) is spawned once and reused.
+        executor = TdmAssigner(
+            self.system, self.netlist, self.delay_model, self.config, tracer=tracer
+        )._executor()
+        try:
+            lr_history, wire_stats, multipliers, incidence = self._run_phase2(
+                solution, executor=executor
             )
-            for round_index in range(self.config.timing_reroute_rounds):
-                # The refinement search counts as initial-routing work, so
-                # it accumulates into the same phase timer.
-                with tracer.span(PHASE_IR, kind="timing_reroute"):
-                    # ``timing`` is always an analysis of the current
-                    # ``solution``, so the refiner need not re-run one.
-                    outcome = refiner.refine(solution, report=timing)
-                if outcome.solution is None:
-                    break
-                candidate = outcome.solution
-                # The previous round's multipliers warm-start the re-solve:
-                # the topology barely changed, so λ is nearly right already.
-                cand_lr, cand_wires, cand_multipliers = self._run_phase2(
-                    candidate, warm_start=multipliers
+            analyzer = TimingAnalyzer(self.system, self.netlist, self.delay_model)
+            timing = analyzer.analyze(solution)
+
+            # Timing-driven outer loop: reroute measured-critical
+            # connections, re-assign ratios, keep only strict improvements.
+            moves = 0
+            if timing.critical_connection >= 0 and self.config.timing_reroute_rounds:
+                from repro.core.timing_reroute import TimingDrivenRefiner
+
+                refiner = TimingDrivenRefiner(
+                    self.system, self.netlist, self.delay_model, self.config
                 )
-                cand_timing = analyzer.analyze(candidate)
-                improved = (
-                    cand_timing.critical_delay < timing.critical_delay - 1e-9
-                )
-                if tracer.enabled:
-                    tracer.event(
-                        "timing_reroute.round",
-                        round=round_index,
-                        moves=outcome.moves,
-                        candidate_delay=cand_timing.critical_delay,
-                        incumbent_delay=timing.critical_delay,
-                        accepted=improved,
+                for round_index in range(self.config.timing_reroute_rounds):
+                    # The refinement search counts as initial-routing work,
+                    # so it accumulates into the same phase timer.
+                    with tracer.span(PHASE_IR, kind="timing_reroute"):
+                        # ``timing`` is always an analysis of the current
+                        # ``solution``, so the refiner need not re-run one.
+                        outcome = refiner.refine(solution, report=timing)
+                    if outcome.solution is None:
+                        break
+                    candidate = outcome.solution
+                    # The previous round's multipliers warm-start the
+                    # re-solve (the topology barely changed, so λ is nearly
+                    # right already), and the round's changed-connection
+                    # set lets the incidence rebuild incrementally.
+                    cand_lr, cand_wires, cand_multipliers, cand_incidence = (
+                        self._run_phase2(
+                            candidate,
+                            warm_start=multipliers,
+                            executor=executor,
+                            prev_incidence=incidence,
+                            changed_connections=outcome.changed_connections,
+                        )
                     )
-                if improved:
-                    solution = candidate
-                    timing = cand_timing
-                    lr_history = cand_lr if cand_lr is not None else lr_history
-                    wire_stats = cand_wires if cand_wires is not None else wire_stats
-                    multipliers = (
-                        cand_multipliers if cand_multipliers is not None else multipliers
+                    cand_timing = analyzer.analyze(candidate)
+                    improved = (
+                        cand_timing.critical_delay < timing.critical_delay - 1e-9
                     )
-                    moves += outcome.moves
-                else:
-                    break
+                    if tracer.enabled:
+                        tracer.event(
+                            "timing_reroute.round",
+                            round=round_index,
+                            moves=outcome.moves,
+                            candidate_delay=cand_timing.critical_delay,
+                            incumbent_delay=timing.critical_delay,
+                            accepted=improved,
+                        )
+                    if improved:
+                        solution = candidate
+                        timing = cand_timing
+                        incidence = cand_incidence
+                        lr_history = cand_lr if cand_lr is not None else lr_history
+                        wire_stats = (
+                            cand_wires if cand_wires is not None else wire_stats
+                        )
+                        multipliers = (
+                            cand_multipliers
+                            if cand_multipliers is not None
+                            else multipliers
+                        )
+                        moves += outcome.moves
+                    else:
+                        break
+        finally:
+            executor.close()
         tracer.add("timing_reroute.moves", moves)
 
         times = PhaseTimes.from_tracer(tracer, baseline)
@@ -312,35 +367,67 @@ class SynergisticRouter:
         self,
         solution: RoutingSolution,
         warm_start=None,
-    ) -> "tuple[Optional[LrHistory], Optional[WireAssignmentStats], object]":
+        executor: Optional[ParallelExecutor] = None,
+        prev_incidence: Optional[TdmIncidence] = None,
+        changed_connections=None,
+    ) -> "tuple[Optional[LrHistory], Optional[WireAssignmentStats], object, TdmIncidence]":
         """LR + legalization + wire assignment on one topology.
 
         Each stage runs under its phase span (``phase.tdm_assignment`` /
         ``phase.legalization_wire_assignment``), so repeated calls from
         the timing-driven loop accumulate into the same phase timers.
 
-        Returns the LR history, wire stats and the final multipliers (a
-        warm start for the next timing-reroute round).
+        Args:
+            solution: the topology to assign ratios and wires for.
+            warm_start: multipliers from the previous round's solve.
+            executor: a shared phase II executor (one is created — and
+                closed — here when absent).
+            prev_incidence: the previous round's incidence; together with
+                ``changed_connections`` it enables the incremental
+                rebuild (gated on
+                ``config.incremental_rebuild_fraction``).
+            changed_connections: connection indices rerouted since
+                ``prev_incidence`` was built.
+
+        Returns the LR history, wire stats, the final multipliers (a warm
+        start for the next timing-reroute round) and the incidence (the
+        next round's ``prev_incidence``).
         """
         tracer = self.tracer
-        assigner = TdmAssigner(
-            self.system, self.netlist, self.delay_model, self.config, tracer=tracer
+        incidence, delta = build_incidence(
+            self.system,
+            self.netlist,
+            solution,
+            self.delay_model,
+            previous=prev_incidence,
+            changed_connections=changed_connections,
+            incremental_fraction=self.config.incremental_rebuild_fraction,
+            tracer=tracer,
         )
-        incidence = TdmIncidence(self.system, self.netlist, solution, self.delay_model)
         if not incidence.num_pairs:
-            return None, None, None
-        executor = assigner._executor()
-        with tracer.span(PHASE_TA):
-            lr_result = LagrangianTdmAssigner(
-                incidence, self.config, tracer=tracer
-            ).solve(warm_start=warm_start)
+            return None, None, None, incidence
+        if delta is not None:
+            warm_start = delta.map_multipliers(warm_start)
+        owns_executor = executor is None
+        if owns_executor:
+            executor = TdmAssigner(
+                self.system, self.netlist, self.delay_model, self.config, tracer=tracer
+            )._executor()
+        try:
+            with tracer.span(PHASE_TA):
+                lr_result = LagrangianTdmAssigner(
+                    incidence, self.config, tracer=tracer
+                ).solve(warm_start=warm_start)
 
-        with tracer.span(PHASE_LGWA):
-            legal = TdmLegalizer(
-                incidence, self.config, executor, tracer=tracer
-            ).legalize(lr_result.ratios)
-            incidence.write_ratios(solution, legal.ratios)
-            wire_stats = WireAssigner(
-                incidence, self.config, executor, tracer=tracer
-            ).assign(solution, legal.ratios, legal.wire_budgets, legal.criticality)
-        return lr_result.history, wire_stats, lr_result.multipliers
+            with tracer.span(PHASE_LGWA):
+                legal = TdmLegalizer(
+                    incidence, self.config, executor, tracer=tracer
+                ).legalize(lr_result.ratios)
+                incidence.write_ratios(solution, legal.ratios)
+                wire_stats = WireAssigner(
+                    incidence, self.config, executor, tracer=tracer
+                ).assign(solution, legal.ratios, legal.wire_budgets, legal.criticality)
+        finally:
+            if owns_executor:
+                executor.close()
+        return lr_result.history, wire_stats, lr_result.multipliers, incidence

@@ -14,6 +14,7 @@ each net's ratio becomes its wire's ratio.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import repeat
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -74,47 +75,71 @@ class WireAssigner:
         inc = self.incidence
         stats = WireAssignmentStats()
         edges = sorted({edge for edge, _ in inc.directed_edges()})
-        # Plain-list views shared by every per-edge task: the greedy sorts
-        # and probes these per pair, where numpy scalar access would
-        # dominate (both arrays are read-only here).
+        # Plain-list views shared by every per-edge task: the greedy
+        # probes these per pair, where numpy scalar access would dominate
+        # (both arrays are read-only here).
         ratio_list = ratios.tolist()
-        crit_list = (
-            criticality.tolist()
-            if criticality is not None
-            else [0.0] * len(ratio_list)
-        )
+        if criticality is None:
+            crit_arr = np.zeros(len(ratio_list), dtype=np.float64)
+        else:
+            crit_arr = criticality
+        crit_list = crit_arr.tolist()
+        neg_crit = np.negative(crit_arr)
         pair_net = inc.pair_net.tolist()
 
-        def build(edge_index: int) -> List[TdmWire]:
+        def build(edge_index: int) -> Tuple[List[TdmWire], int, int, int]:
+            # Runs on a worker thread: counters come back as values and
+            # are reduced on the dispatch thread, so no task ever writes
+            # shared state.
             wires: List[TdmWire] = []
+            nets = bumps = moves = 0
             for direction in (0, 1):
-                pairs = inc.pairs_of_directed_edge(edge_index, direction)
-                if not pairs:
+                pair_slice = inc.pair_slice_of_directed_edge(edge_index, direction)
+                if not pair_slice.size:
                     continue
+                # Ascending ratio; among equal ratios the more critical
+                # net first so it lands on the (smaller-ratio) earlier
+                # wire; lexsort is stable, so remaining ties keep the
+                # ascending pair order — exactly the Python
+                # sorted(key=(ratio, -criticality)) order.
+                order = pair_slice[
+                    np.lexsort((neg_crit[pair_slice], ratios[pair_slice]))
+                ].tolist()
                 budget = wire_budgets[(edge_index, direction)]
-                wires.extend(
-                    self._assign_directed_edge(
-                        edge_index,
-                        direction,
-                        pairs,
-                        budget,
-                        ratio_list,
-                        crit_list,
-                        pair_net,
-                        stats,
-                    )
+                edge_wires, edge_bumps, edge_moves = self._assign_directed_edge(
+                    edge_index,
+                    direction,
+                    pair_slice.tolist(),
+                    order,
+                    budget,
+                    ratio_list,
+                    crit_list,
+                    pair_net,
                 )
-            return wires
+                wires.extend(edge_wires)
+                nets += pair_slice.size
+                bumps += edge_bumps
+                moves += edge_moves
+            return wires, nets, bumps, moves
 
-        per_edge_wires = self.executor.map(build, edges)
+        per_edge_results = self.executor.map(build, edges)
         tracer = self.tracer
-        for edge_index, wires in zip(edges, per_edge_wires):
+        net_wire = solution.net_wire
+        final_ratios = solution.ratios
+        for edge_index, (wires, nets, bumps, moves) in zip(edges, per_edge_results):
+            stats.nets_assigned += nets
+            stats.overflow_bumps += bumps
+            stats.critical_moves += moves
             solution.wires[edge_index] = wires
             for position, wire in enumerate(wires):
-                for net_index in wire.net_indices:
-                    use = (net_index, edge_index, wire.direction)
-                    solution.net_wire[use] = position
-                    solution.ratios[use] = float(wire.ratio)
+                direction = wire.direction
+                wire_ratio = float(wire.ratio)
+                uses = [
+                    (net_index, edge_index, direction)
+                    for net_index in wire.net_indices
+                ]
+                net_wire.update(zip(uses, repeat(position)))
+                final_ratios.update(zip(uses, repeat(wire_ratio)))
             stats.wires_used += len(wires)
             for direction in (0, 1):
                 budget = wire_budgets.get((edge_index, direction))
@@ -147,41 +172,62 @@ class WireAssigner:
         edge_index: int,
         direction: int,
         pairs: List[int],
+        order: List[int],
         budget: int,
         ratios: List[float],
         criticality: List[float],
         pair_net: List[int],
-        stats: WireAssignmentStats,
-    ) -> List[TdmWire]:
-        """The paper's greedy for one directed edge."""
+    ) -> Tuple[List[TdmWire], int, int]:
+        """The paper's greedy for one directed edge.
+
+        Args:
+            pairs: the directed edge's pair indices, ascending.
+            order: the same pairs sorted by (ratio, -criticality).
+
+        Returns:
+            ``(wires, overflow_bumps, critical_moves)``; counters are
+            local so concurrent per-edge tasks never share state.
+        """
         model = self.incidence.delay_model
+        overflow_bumps = 0
+        critical_moves = 0
         step = model.tdm_step
-        # Ascending ratio; among equal ratios the more critical net first so
-        # it lands on the (smaller-ratio) earlier wire.
-        order = sorted(pairs, key=lambda p: (ratios[p], -criticality[p]))
         wires: List[TdmWire] = []
+        # Plain mirrors of each wire's ratio/demand/max-criticality: the
+        # leftover scan probes them per wire, where dataclass attribute
+        # access would dominate.
+        wire_ratios: List[int] = []
+        wire_demands: List[int] = []
+        wire_crit: List[float] = []
         cursor = 0
-        while cursor < len(order) and len(wires) < budget:
+        total = len(order)
+        while cursor < total and len(wires) < budget:
             wire_ratio = int(round(ratios[order[cursor]]))
             group = order[cursor : cursor + wire_ratio]
             wire = TdmWire(edge_index=edge_index, direction=direction, ratio=wire_ratio)
-            for pair in group:
-                wire.add_net(pair_net[pair])
+            wire.net_indices.extend([pair_net[pair] for pair in group])
             wires.append(wire)
+            wire_ratios.append(wire_ratio)
+            wire_demands.append(len(group))
+            wire_crit.append(max([criticality[pair] for pair in group]))
             cursor += len(group)
 
         # Leftover demand: fold onto existing wires, preferring headroom,
         # otherwise bump the wire whose nets are least critical.
-        if cursor < len(order):
-            wire_crit = self._wire_criticalities(wires, pairs, criticality, pair_net)
+        if cursor < total:
             for pair in order[cursor:]:
-                target = self._pick_wire_for_leftover(wires, wire_crit)
-                wire = wires[target]
-                if wire.demand >= wire.ratio:
-                    wire.ratio += step
-                    stats.overflow_bumps += 1
-                wire.add_net(pair_net[pair])
-                wire_crit[target] = max(wire_crit[target], criticality[pair])
+                target = self._pick_wire_for_leftover(
+                    wire_ratios, wire_demands, wire_crit
+                )
+                if wire_demands[target] >= wire_ratios[target]:
+                    wire_ratios[target] += step
+                    wires[target].ratio += step
+                    overflow_bumps += 1
+                wires[target].add_net(pair_net[pair])
+                wire_demands[target] += 1
+                crit = criticality[pair]
+                if crit > wire_crit[target]:
+                    wire_crit[target] = crit
 
         # Leftover capacity: give the most critical shared nets private
         # wires at the minimum ratio.
@@ -206,41 +252,30 @@ class WireAssigner:
                 fresh.add_net(net)
                 wires.append(fresh)
                 spare -= 1
-                stats.critical_moves += 1
+                critical_moves += 1
 
         # Final shrink: a wire's ratio only needs to be the smallest legal
         # multiple of the step covering its demand.
         for wire in wires:
             wire.ratio = model.legalize_ratio(wire.demand)
-        stats.nets_assigned += len(pairs)
-        return wires
+        return wires, overflow_bumps, critical_moves
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _pick_wire_for_leftover(wires: List[TdmWire], wire_crit: List[float]) -> int:
+    def _pick_wire_for_leftover(
+        wire_ratios: List[int], wire_demands: List[int], wire_crit: List[float]
+    ) -> int:
         """Wire to receive a leftover net: headroom first, then least critical."""
         best = -1
-        for index, wire in enumerate(wires):
-            if wire.demand < wire.ratio:
-                if best < 0 or wire.ratio < wires[best].ratio:
-                    best = index
+        best_ratio = 0
+        for index, ratio in enumerate(wire_ratios):
+            if wire_demands[index] < ratio and (best < 0 or ratio < best_ratio):
+                best = index
+                best_ratio = ratio
         if best >= 0:
             return best
-        return int(np.argmin(wire_crit))
-
-    @staticmethod
-    def _wire_criticalities(
-        wires: List[TdmWire],
-        pairs: List[int],
-        criticality: List[float],
-        pair_net: List[int],
-    ) -> List[float]:
-        """Max criticality of the nets currently on each wire."""
-        net_crit = {pair_net[p]: criticality[p] for p in pairs}
-        return [
-            max((net_crit.get(net, 0.0) for net in wire.net_indices), default=0.0)
-            for wire in wires
-        ]
+        # First index of the minimum, matching np.argmin.
+        return min(range(len(wire_crit)), key=wire_crit.__getitem__)
 
     @staticmethod
     def _pair_wire_map(

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
+import numpy as np
+
 from repro.netlist.net import Connection, Net
 
 
@@ -38,6 +40,9 @@ class Netlist:
                 )
                 self._net_connections[net.index].append(conn.index)
                 self._connections.append(conn)
+        # Lazy caches; a netlist never changes after construction.
+        self._max_die: Optional[int] = None
+        self._conn_net: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -82,12 +87,26 @@ class Netlist:
         """Yield the nets that have at least one die-crossing connection."""
         return (net for net in self._nets if net.is_die_crossing)
 
+    def connection_net_indices(self) -> np.ndarray:
+        """Per-connection owning net index, as a cached read-only array."""
+        if self._conn_net is None:
+            arr = np.fromiter(
+                (conn.net_index for conn in self._connections),
+                dtype=np.int64,
+                count=len(self._connections),
+            )
+            arr.setflags(write=False)
+            self._conn_net = arr
+        return self._conn_net
+
     def max_die_index(self) -> int:
         """Largest die index referenced by any pin (-1 for an empty netlist)."""
-        largest = -1
-        for net in self._nets:
-            largest = max(largest, net.source_die, *net.sink_dies)
-        return largest
+        if self._max_die is None:
+            largest = -1
+            for net in self._nets:
+                largest = max(largest, net.source_die, *net.sink_dies)
+            self._max_die = largest
+        return self._max_die
 
     def validate_against(self, num_dies: int) -> None:
         """Raise ``ValueError`` if any pin references a die >= ``num_dies``."""

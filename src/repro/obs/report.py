@@ -171,7 +171,7 @@ def _lr_section(history: Any) -> Optional[Dict[str, Any]]:
         "converged": bool(history.converged),
         "num_iterations": int(history.num_iterations),
         "final_gap": _finite_or_none(history.final_gap),
-        "best_delay": float(history.best_delay),
+        "best_delay": _finite_or_none(history.best_delay),
         "iterations": [
             {
                 "iteration": int(it.iteration),

@@ -39,6 +39,13 @@ class ParallelExecutor:
             :meth:`map` call is wrapped in a ``parallel.map`` span with
             task/worker counts (dispatch-side only — worker threads are
             never touched, so sinks see a single-threaded span stream).
+
+    The thread pool is created lazily on the first parallel :meth:`map`
+    and reused by every later call — one executor can serve a whole
+    phase II run (legalizer + wire assigner + refine rounds) without
+    re-spawning threads.  Call :meth:`close` (or use the executor as a
+    context manager) to release the threads; a closed executor re-creates
+    the pool on the next parallel map.
     """
 
     def __init__(self, num_workers: int = 1, tracer: Optional[object] = None) -> None:
@@ -48,11 +55,24 @@ class ParallelExecutor:
             raise ValueError("num_workers must be non-negative")
         self.num_workers = num_workers
         self.tracer = tracer
+        self._pool: Optional[ThreadPoolExecutor] = None
 
     @property
     def is_parallel(self) -> bool:
         """Whether work is dispatched to a thread pool."""
         return self.num_workers > 1
+
+    def close(self) -> None:
+        """Shut down the persistent thread pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         """Apply ``fn`` to every item, preserving order."""
@@ -69,5 +89,6 @@ class ParallelExecutor:
     def _map(self, fn: Callable[[T], R], items: List[T]) -> List[R]:
         if not self.is_parallel or len(items) <= 1:
             return [fn(item) for item in items]
-        with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
-            return list(pool.map(fn, items))
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.num_workers)
+        return list(self._pool.map(fn, items))

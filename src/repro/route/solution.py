@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.arch.edges import EdgeKind, TdmWire
 from repro.arch.system import MultiFpgaSystem
 from repro.netlist.netlist import Netlist
@@ -66,6 +68,11 @@ class RoutingSolution:
         #: Hop lists memoized per distinct die path: connections share
         #: few distinct paths, and the lists are never mutated.
         self._hops_memo: Dict[Tuple[int, ...], List[Tuple[int, int]]] = {}
+        #: numpy mirrors of the hop lists, memoized per distinct path
+        #: (read-only; consumed by the phase II incidence builder).
+        self._hop_arrays_memo: Dict[
+            Tuple[int, ...], Tuple[np.ndarray, np.ndarray]
+        ] = {}
         self._is_tdm: List[bool] = [
             edge.kind is EdgeKind.TDM for edge in system.edges
         ]
@@ -119,6 +126,26 @@ class RoutingSolution:
         if hops is None:
             raise ValueError(f"connection {connection_index} is unrouted")
         return hops
+
+    def path_hop_arrays(self, connection_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(edge_indices, directions)`` int64 arrays of a connection's hops.
+
+        Memoized per distinct die path (like :meth:`path_hops`); the
+        returned arrays are shared and must not be mutated.
+        """
+        path = self._paths[connection_index]
+        if path is None:
+            raise ValueError(f"connection {connection_index} is unrouted")
+        arrays = self._hop_arrays_memo.get(path)
+        if arrays is None:
+            hops = self._conn_hops[connection_index]
+            count = len(hops)
+            arrays = (
+                np.fromiter((hop[0] for hop in hops), dtype=np.int64, count=count),
+                np.fromiter((hop[1] for hop in hops), dtype=np.int64, count=count),
+            )
+            self._hop_arrays_memo[path] = arrays
+        return arrays
 
     @property
     def is_complete(self) -> bool:
@@ -224,10 +251,12 @@ class RoutingSolution:
         baseline router's topology.
         """
         clone = RoutingSolution(self.system, self.netlist)
-        for index, path in enumerate(self._paths):
-            if path is not None:
-                clone._paths[index] = path
-                clone._conn_hops[index] = self._conn_hops[index]
+        clone._paths = list(self._paths)
+        clone._conn_hops = list(self._conn_hops)
+        # The memo caches are append-only maps from immutable path tuples
+        # to immutable hop views, so clones can share them.
+        clone._hops_memo = self._hops_memo
+        clone._hop_arrays_memo = self._hop_arrays_memo
         clone._cache_valid = False
         return clone
 

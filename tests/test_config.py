@@ -80,4 +80,8 @@ class TestLrHistory:
 
     def test_num_iterations(self):
         assert self.make([1.0, 2.0]).num_iterations == 2
-        assert LrHistory().best_delay == 0.0
+
+    def test_empty_history_has_no_delay_or_gap(self):
+        # Both degenerate properties agree: an empty history reports inf.
+        assert LrHistory().best_delay == float("inf")
+        assert LrHistory().final_gap == float("inf")

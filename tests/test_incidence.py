@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import DelayModel, Net, Netlist
-from repro.core.incidence import TdmIncidence
+from repro.core.incidence import TdmIncidence, build_incidence, build_reference
 from repro.route.solution import RoutingSolution
 from repro.timing import TimingAnalyzer
 from tests.conftest import build_two_fpga_system, random_netlist
@@ -105,3 +105,259 @@ class TestEvaluations:
         assert inc.num_pairs == 0
         delays = inc.connection_delays(np.zeros(0))
         assert delays[0] == pytest.approx(model.d_sll)
+
+
+# ----------------------------------------------------------------------
+# Vectorized construction vs. the pure-Python reference builder
+# ----------------------------------------------------------------------
+
+#: Every array attribute the phase II pipeline consumes.
+_ARRAY_ATTRS = [
+    "inc_conn",
+    "inc_pair",
+    "conn_sll_delay",
+    "conn_tdm_hops",
+    "conn_net",
+    "pair_net",
+    "pair_edge",
+    "pair_dir",
+    "pair_cap",
+    "dir_pairs",
+    "dir_indptr",
+    "dir_edge",
+    "dir_dir",
+]
+
+
+def _routed_case(seed, num_nets=60):
+    system = build_two_fpga_system(sll_capacity=20, tdm_capacity=8, num_tdm_edges=3)
+    netlist = random_netlist(system, num_nets, seed=seed)
+    solution = InitialRouter(system, netlist).route()
+    return system, netlist, solution
+
+
+def _assert_incidences_bit_equal(fast, ref):
+    assert fast.uses == ref.uses
+    assert fast.use_index == ref.use_index
+    assert fast.num_pairs == ref.num_pairs
+    for name in _ARRAY_ATTRS:
+        a, b = getattr(fast, name), getattr(ref, name)
+        assert a.dtype == b.dtype, name
+        assert np.array_equal(a, b), name
+    assert fast.directed_edges() == ref.directed_edges()
+    for edge_index, direction in ref.directed_edges():
+        assert fast.pairs_of_directed_edge(
+            edge_index, direction
+        ) == ref.pairs_of_directed_edge(edge_index, direction)
+
+
+class TestVectorizedEquivalence:
+    """The numpy constructor must match the reference builder bit-for-bit."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_construction_bit_equal(self, seed):
+        system, netlist, solution = _routed_case(seed)
+        model = DelayModel()
+        fast = TdmIncidence(system, netlist, solution, model)
+        ref = build_reference(system, netlist, solution, model)
+        _assert_incidences_bit_equal(fast, ref)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_evaluations_bit_equal(self, seed):
+        system, netlist, solution = _routed_case(seed)
+        model = DelayModel()
+        fast = TdmIncidence(system, netlist, solution, model)
+        ref = build_reference(system, netlist, solution, model)
+        rng = np.random.default_rng(seed)
+        ratios = rng.uniform(1.0, 9.0, fast.num_pairs)
+        fast_delays = fast.connection_delays(ratios)
+        ref_delays = ref.connection_delays(ratios)
+        assert np.array_equal(fast_delays, ref_delays)
+        assert np.array_equal(
+            fast.pair_criticality(fast_delays), ref.pair_criticality(ref_delays)
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_buffered_delays_bit_equal(self, seed):
+        system, netlist, solution = _routed_case(seed)
+        model = DelayModel()
+        inc = TdmIncidence(system, netlist, solution, model)
+        rng = np.random.default_rng(seed)
+        out = np.empty(inc.num_connections, dtype=np.float64)
+        for _ in range(3):  # reused buffers must not leak state
+            ratios = rng.uniform(1.0, 9.0, inc.num_pairs)
+            buffered = inc.connection_delays(ratios, out=out)
+            assert buffered is out
+            assert np.array_equal(buffered, inc.connection_delays(ratios))
+
+    def test_ratio_round_trip_matches_reference(self):
+        system, netlist, solution = _routed_case(11)
+        model = DelayModel()
+        fast = TdmIncidence(system, netlist, solution, model)
+        ref = build_reference(system, netlist, solution, model)
+        ratios = np.arange(fast.num_pairs, dtype=np.float64) + 2.0
+        fast_sol = solution.copy_topology()
+        ref_sol = solution.copy_topology()
+        fast.write_ratios(fast_sol, ratios)
+        ref.write_ratios(ref_sol, ratios)
+        assert fast_sol.ratios == ref_sol.ratios
+        assert np.array_equal(
+            fast.ratios_from_solution(fast_sol), ref.ratios_from_solution(ref_sol)
+        )
+
+    def test_directed_edge_groups_are_csr_slices(self):
+        system, netlist, solution = _routed_case(12)
+        inc = TdmIncidence(system, netlist, solution, DelayModel())
+        groups = list(inc.directed_edge_groups())
+        assert [(e, d) for e, d, _ in groups] == inc.directed_edges()
+        for edge_index, direction, pairs in groups:
+            assert pairs.tolist() == inc.pairs_of_directed_edge(edge_index, direction)
+            assert sorted(pairs.tolist()) == pairs.tolist()
+
+
+# ----------------------------------------------------------------------
+# Incremental rebuild
+# ----------------------------------------------------------------------
+
+
+def _reroute_some(system, netlist, solution, seed, count):
+    """Reroute ``count`` random connections on randomized edge costs."""
+    import random as _random
+
+    from repro.route.dijkstra import dijkstra_path
+
+    rng = _random.Random(seed)
+    costs = {edge.index: rng.uniform(0.5, 3.0) for edge in system.edges}
+    changed = sorted(rng.sample(range(netlist.num_connections), count))
+    rerouted = solution.copy_topology()
+    for conn_index in changed:
+        conn = netlist.connections[conn_index]
+        path = dijkstra_path(
+            [system.neighbors(d) for d in range(system.num_dies)],
+            conn.source_die,
+            conn.sink_die,
+            lambda e, frm, to: costs[e],
+        )
+        rerouted.set_path(conn_index, path)
+    return rerouted, changed
+
+
+class TestIncrementalRebuild:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_cold_rebuild(self, seed):
+        system, netlist, solution = _routed_case(seed)
+        model = DelayModel()
+        previous = TdmIncidence(system, netlist, solution, model)
+        rerouted, changed = _reroute_some(system, netlist, solution, 100 + seed, 8)
+        delta = TdmIncidence.incremental(previous, rerouted, changed)
+        cold = TdmIncidence(system, netlist, rerouted, model)
+        _assert_incidences_bit_equal(delta.incidence, cold)
+
+    def test_pair_map_tracks_surviving_pairs(self):
+        system, netlist, solution = _routed_case(3)
+        model = DelayModel()
+        previous = TdmIncidence(system, netlist, solution, model)
+        rerouted, changed = _reroute_some(system, netlist, solution, 33, 10)
+        delta = TdmIncidence.incremental(previous, rerouted, changed)
+        new = delta.incidence
+        for old_index, use in enumerate(previous.uses):
+            mapped = delta.pair_map[old_index]
+            if use in new.use_index:
+                assert mapped == new.use_index[use]
+            else:
+                assert mapped == -1
+        for new_index, use in enumerate(new.uses):
+            assert delta.new_pair_mask[new_index] == (use not in previous.use_index)
+
+    def test_map_pair_values_carries_state(self):
+        system, netlist, solution = _routed_case(4)
+        model = DelayModel()
+        previous = TdmIncidence(system, netlist, solution, model)
+        rerouted, changed = _reroute_some(system, netlist, solution, 44, 10)
+        delta = TdmIncidence.incremental(previous, rerouted, changed)
+        new = delta.incidence
+        values = np.arange(previous.num_pairs, dtype=np.float64) + 1.0
+        mapped = delta.map_pair_values(values, default=-5.0)
+        for new_index, use in enumerate(new.uses):
+            if use in previous.use_index:
+                assert mapped[new_index] == values[previous.use_index[use]]
+            else:
+                assert mapped[new_index] == -5.0
+
+    def test_map_multipliers_is_connection_space_identity(self):
+        system, netlist, solution = _routed_case(5)
+        model = DelayModel()
+        previous = TdmIncidence(system, netlist, solution, model)
+        rerouted, changed = _reroute_some(system, netlist, solution, 55, 5)
+        delta = TdmIncidence.incremental(previous, rerouted, changed)
+        lam = np.full(netlist.num_connections, 1.0 / netlist.num_connections)
+        assert delta.map_multipliers(lam) is lam
+        assert delta.map_multipliers(None) is None
+
+    def test_no_changes_is_identity(self):
+        system, netlist, solution = _routed_case(6)
+        model = DelayModel()
+        previous = TdmIncidence(system, netlist, solution, model)
+        delta = TdmIncidence.incremental(previous, solution, [])
+        _assert_incidences_bit_equal(delta.incidence, previous)
+        assert np.array_equal(
+            delta.pair_map, np.arange(previous.num_pairs, dtype=np.int64)
+        )
+        assert not delta.new_pair_mask.any()
+
+    def test_rejects_foreign_netlist(self):
+        system, netlist, solution = _routed_case(7)
+        previous = TdmIncidence(system, netlist, solution, DelayModel())
+        other_netlist = random_netlist(system, 60, seed=7)
+        other = InitialRouter(system, other_netlist).route()
+        with pytest.raises(ValueError, match="netlist"):
+            TdmIncidence.incremental(previous, other, [0])
+
+    def test_rejects_out_of_range_connection(self):
+        system, netlist, solution = _routed_case(8)
+        previous = TdmIncidence(system, netlist, solution, DelayModel())
+        with pytest.raises(ValueError, match="out of range"):
+            TdmIncidence.incremental(
+                previous, solution, [netlist.num_connections]
+            )
+
+
+class TestBuildIncidenceGate:
+    def test_incremental_below_fraction(self):
+        system, netlist, solution = _routed_case(9)
+        model = DelayModel()
+        previous = TdmIncidence(system, netlist, solution, model)
+        rerouted, changed = _reroute_some(system, netlist, solution, 99, 3)
+        inc, delta = build_incidence(
+            system,
+            netlist,
+            rerouted,
+            model,
+            previous=previous,
+            changed_connections=changed,
+            incremental_fraction=0.2,
+        )
+        assert delta is not None
+        _assert_incidences_bit_equal(inc, TdmIncidence(system, netlist, rerouted, model))
+
+    def test_cold_at_or_above_fraction(self):
+        system, netlist, solution = _routed_case(9)
+        model = DelayModel()
+        previous = TdmIncidence(system, netlist, solution, model)
+        rerouted, changed = _reroute_some(system, netlist, solution, 99, 3)
+        inc, delta = build_incidence(
+            system,
+            netlist,
+            rerouted,
+            model,
+            previous=previous,
+            changed_connections=changed,
+            incremental_fraction=0.0,
+        )
+        assert delta is None
+
+    def test_cold_without_previous(self):
+        system, netlist, solution = _routed_case(9)
+        inc, delta = build_incidence(system, netlist, solution, DelayModel())
+        assert delta is None
+        assert inc.num_pairs > 0

@@ -151,3 +151,50 @@ class TestEdgeCases:
         inc = TdmIncidence(system, netlist, solution, model)
         with pytest.raises(ValueError):
             LagrangianTdmAssigner(inc, min_ratio=0)
+
+
+class TestBufferedSolve:
+    """The allocation-free loop must match the reference bit-for-bit."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("update", ["accelerated", "subgradient"])
+    def test_bit_identical_to_unbuffered(self, seed, update):
+        system = build_two_fpga_system(
+            sll_capacity=20, tdm_capacity=8, num_tdm_edges=3
+        )
+        netlist = random_netlist(system, 70, seed=seed)
+        model = DelayModel()
+        solution = InitialRouter(system, netlist, model).route()
+        inc = TdmIncidence(system, netlist, solution, model)
+        buffered = LagrangianTdmAssigner(inc, update=update, buffered=True).solve()
+        reference = LagrangianTdmAssigner(inc, update=update, buffered=False).solve()
+        assert np.array_equal(buffered.ratios, reference.ratios)
+        assert np.array_equal(
+            buffered.connection_delays, reference.connection_delays
+        )
+        assert np.array_equal(buffered.multipliers, reference.multipliers)
+        assert buffered.history.converged == reference.history.converged
+        assert buffered.history.iterations == reference.history.iterations
+
+    def test_warm_start_bit_identical(self):
+        system = build_two_fpga_system(tdm_capacity=8, num_tdm_edges=3)
+        netlist = random_netlist(system, 70, seed=21)
+        model = DelayModel()
+        solution = InitialRouter(system, netlist, model).route()
+        inc = TdmIncidence(system, netlist, solution, model)
+        warm = LagrangianTdmAssigner(inc, buffered=False).solve().multipliers
+        buffered = LagrangianTdmAssigner(inc, buffered=True).solve(warm_start=warm)
+        reference = LagrangianTdmAssigner(inc, buffered=False).solve(warm_start=warm)
+        assert np.array_equal(buffered.ratios, reference.ratios)
+        assert buffered.history.iterations == reference.history.iterations
+
+    def test_warm_start_input_not_mutated(self):
+        system = build_two_fpga_system(tdm_capacity=8)
+        netlist = random_netlist(system, 40, seed=22)
+        model = DelayModel()
+        solution = InitialRouter(system, netlist, model).route()
+        inc = TdmIncidence(system, netlist, solution, model)
+        warm = np.full(inc.num_connections, 1.0 / inc.num_connections)
+        snapshot = warm.copy()
+        LagrangianTdmAssigner(inc, buffered=True).solve(warm_start=warm)
+        assert np.array_equal(warm, snapshot)

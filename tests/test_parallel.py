@@ -66,3 +66,40 @@ class TestParallelExecutor:
         sequential = ParallelExecutor(1).map(lambda x: x**2 % 7, items)
         parallel = ParallelExecutor(4).map(lambda x: x**2 % 7, items)
         assert sequential == parallel
+
+
+class TestPersistentPool:
+    def test_pool_created_lazily_and_reused(self):
+        with ParallelExecutor(4) as executor:
+            assert executor._pool is None
+            executor.map(lambda x: x, range(8))
+            pool = executor._pool
+            assert pool is not None
+            executor.map(lambda x: x, range(8))
+            assert executor._pool is pool
+
+    def test_close_releases_pool_and_is_idempotent(self):
+        executor = ParallelExecutor(4)
+        executor.map(lambda x: x, range(8))
+        executor.close()
+        assert executor._pool is None
+        executor.close()
+        # A closed executor stays usable; it just re-creates the pool.
+        assert executor.map(lambda x: x + 1, range(4)) == [1, 2, 3, 4]
+        executor.close()
+
+    def test_context_manager_closes(self):
+        with ParallelExecutor(4) as executor:
+            assert executor.map(str, range(4)) == ["0", "1", "2", "3"]
+            assert executor._pool is not None
+        assert executor._pool is None
+
+    def test_sequential_never_creates_pool(self):
+        with ParallelExecutor(1) as executor:
+            executor.map(lambda x: x, range(10))
+            assert executor._pool is None
+
+    def test_single_item_stays_sequential(self):
+        with ParallelExecutor(4) as executor:
+            assert executor.map(lambda x: x * 3, [2]) == [6]
+            assert executor._pool is None

@@ -59,3 +59,27 @@ class TestParallelAssignment:
             assert [(w.direction, w.ratio, sorted(w.net_indices)) for w in wires] == [
                 (w.direction, w.ratio, sorted(w.net_indices)) for w in other
             ]
+
+
+class TestStatsReduction:
+    def test_counters_match_sequential(self, topology):
+        """Per-edge counters are reduced on the dispatch thread.
+
+        Regression for a data race: worker tasks used to increment a
+        shared stats object from the thread pool.
+        """
+        system, netlist, solution = topology
+        model = DelayModel()
+        stats = {}
+        for workers in (1, 4):
+            target = solution.copy_topology()
+            _, wire_stats = TdmAssigner(
+                system, netlist, model, RouterConfig(num_workers=workers)
+            ).assign_with_stats(target)
+            stats[workers] = wire_stats
+        sequential, parallel = stats[1], stats[4]
+        assert parallel.wires_used == sequential.wires_used
+        assert parallel.nets_assigned == sequential.nets_assigned
+        assert parallel.overflow_bumps == sequential.overflow_bumps
+        assert parallel.critical_moves == sequential.critical_moves
+        assert parallel.nets_assigned > 0

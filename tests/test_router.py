@@ -125,3 +125,53 @@ class TestTdmAssignerStandalone:
         config2 = RouterConfig(num_workers=None, parallel_net_threshold=1_000_000)
         assigner2 = TdmAssigner(two_fpga_system, netlist, delay_model, config2)
         assert assigner2._executor().num_workers == 1
+
+
+class TestIncrementalIncidenceInRouter:
+    def test_reroute_rounds_rebuild_incrementally(self):
+        """Acceptance: refine rounds patch the incidence, never cold-build.
+
+        case02 accepts timing-reroute moves, so the router runs phase II
+        more than once; only the first run may build the incidence cold
+        (each round moves far fewer than 20% of the connections).
+        """
+        from repro.benchgen import load_case
+
+        case = load_case("case02")
+        result = SynergisticRouter(case.system, case.netlist).route()
+        assert result.timing_reroute_moves > 0
+        counters = result.telemetry.counters
+        assert counters.get("incidence.cold_builds") == 1
+        assert counters.get("incidence.incremental_builds", 0) >= 1
+        assert counters.get("incidence.patched_connections", 0) >= 1
+
+    def test_fraction_zero_forces_cold_builds(self):
+        from repro.benchgen import load_case
+
+        case = load_case("case02")
+        result = SynergisticRouter(
+            case.system,
+            case.netlist,
+            config=RouterConfig(incremental_rebuild_fraction=0.0),
+        ).route()
+        counters = result.telemetry.counters
+        assert "incidence.incremental_builds" not in counters
+        assert counters.get("incidence.cold_builds", 0) > 1
+
+    def test_incremental_is_bit_identical_end_to_end(self):
+        from repro.benchgen import load_case
+
+        case = load_case("case02")
+        incremental = SynergisticRouter(case.system, case.netlist).route()
+        cold = SynergisticRouter(
+            case.system,
+            case.netlist,
+            config=RouterConfig(incremental_rebuild_fraction=0.0),
+        ).route()
+        assert incremental.critical_delay == cold.critical_delay
+        assert incremental.solution.ratios == cold.solution.ratios
+        for edge_index, wires in cold.solution.wires.items():
+            other = incremental.solution.wires[edge_index]
+            assert [
+                (w.direction, w.ratio, sorted(w.net_indices)) for w in wires
+            ] == [(w.direction, w.ratio, sorted(w.net_indices)) for w in other]
