@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-fast perf examples suite trace clean
+.PHONY: install test lint chaos bench bench-fast perf examples suite trace clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,8 +12,14 @@ test:
 # via tests/test_lint_rules.py; this target is the fast direct path and
 # leaves a machine-readable findings file for CI artifacts.
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro.cli.lint_cli src/repro \
+	PYTHONPATH=src $(PYTHON) -m repro.cli.lint_cli src/repro examples \
 		--output lint_findings.json
+
+# Resilience suite (docs/resilience.md): checkpoint/resume bit-equality
+# plus the fault-injection chaos tests (worker kills, induced
+# exceptions, wall-clock budget exhaustion) with 1 and 4 workers.
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_resilience.py tests/test_chaos.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -25,7 +25,7 @@ from repro import (
     SynergisticRouter,
 )
 from repro.benchgen import load_case
-from repro.core.eco import EcoRouter
+from repro.api import EcoRouter
 
 
 def main():

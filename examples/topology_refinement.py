@@ -16,7 +16,7 @@ the paper's Fig. 5(a).
 from repro import DelayModel, DesignRuleChecker, SynergisticRouter
 from repro.baselines import all_baseline_routers
 from repro.benchgen import load_case
-from repro.core.router import TdmAssigner
+from repro.api import TdmAssigner
 from repro.timing import TimingAnalyzer
 
 

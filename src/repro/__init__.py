@@ -22,7 +22,14 @@ Liu, Lin).  It contains:
 * :mod:`repro.benchgen` -- the synthetic contest benchmark suite matching
   the published Table II statistics.
 * :mod:`repro.io` -- text formats for systems, netlists and solutions.
-* :mod:`repro.cli` -- command-line entry points.
+* :mod:`repro.resilience` -- checkpoint/resume, fault injection and
+  wall-clock budgets (docs/resilience.md).
+* :mod:`repro.api` -- the stable facade (:func:`~repro.api.route`,
+  :func:`~repro.api.resume`, :func:`~repro.api.evaluate`,
+  :func:`~repro.api.load_solution`); prefer it over deep submodule
+  imports.
+* :mod:`repro.cli` -- command-line entry points (the unified ``repro``
+  command plus per-task shims).
 
 Quickstart::
 
@@ -56,15 +63,32 @@ from repro.netlist import Connection, Net, Netlist
 from repro.route import RoutingSolution
 from repro.timing import DelayModel, TimingAnalyzer
 from repro.drc import DesignRuleChecker
+from repro.api import (
+    CheckpointManager,
+    Evaluation,
+    FaultInjectingTracer,
+    FaultPlan,
+    FaultSpec,
+    evaluate,
+    load_solution,
+    resume,
+    route,
+    solution_fingerprint,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointManager",
     "Connection",
     "DelayModel",
     "DesignRuleChecker",
     "Die",
     "EdgeKind",
+    "Evaluation",
+    "FaultInjectingTracer",
+    "FaultPlan",
+    "FaultSpec",
     "Fpga",
     "MultiFpgaSystem",
     "Net",
@@ -78,4 +102,9 @@ __all__ = [
     "TdmEdge",
     "TimingAnalyzer",
     "__version__",
+    "evaluate",
+    "load_solution",
+    "resume",
+    "route",
+    "solution_fingerprint",
 ]

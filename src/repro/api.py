@@ -1,0 +1,202 @@
+"""Stable public facade over the router (docs/api.md).
+
+Downstream code should import from :mod:`repro` (or ``repro.api``) only;
+the submodule layout underneath (``repro.core``, ``repro.route``, ...)
+is an implementation detail that may move between releases.  The four
+entry points cover the whole lifecycle of a routing run:
+
+* :func:`route` — route a case, optionally checkpointing every barrier.
+* :func:`resume` — continue a checkpointed run, bit-identical to an
+  uninterrupted one.
+* :func:`evaluate` — independently re-check a solution (DRC + timing).
+* :func:`load_solution` — read a solution file (text or JSON) back in.
+
+Everything re-exported here (``RouterConfig``, ``FaultPlan``,
+``CheckpointManager``, ``PortfolioRouter``, ``EcoRouter``, ...) is part
+of the same stable surface; ``tests/test_api_surface.py`` snapshots the
+signatures so accidental breaks fail CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.config import RouterConfig
+from repro.core.eco import EcoRouter
+from repro.core.portfolio import PortfolioRouter, default_portfolio
+from repro.core.router import RoutingResult, SynergisticRouter, TdmAssigner
+from repro.drc import DesignRuleChecker
+from repro.netlist import Netlist
+from repro.route import RoutingSolution
+from repro.timing import DelayModel, TimingAnalyzer
+from repro.resilience import (
+    CheckpointManager,
+    FaultInjectingTracer,
+    FaultPlan,
+    FaultSpec,
+    solution_fingerprint,
+    solution_state,
+)
+from repro.resilience.runner import resume
+
+__all__ = [
+    "CheckpointManager",
+    "EcoRouter",
+    "Evaluation",
+    "FaultInjectingTracer",
+    "FaultPlan",
+    "FaultSpec",
+    "PortfolioRouter",
+    "RouterConfig",
+    "RoutingResult",
+    "SynergisticRouter",
+    "TdmAssigner",
+    "default_portfolio",
+    "evaluate",
+    "load_solution",
+    "resume",
+    "route",
+    "solution_fingerprint",
+    "solution_state",
+]
+
+
+def route(
+    system: Any,
+    netlist: Netlist,
+    delay_model: Optional[DelayModel] = None,
+    *,
+    config: Optional[RouterConfig] = None,
+    tracer: Optional[Any] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+) -> RoutingResult:
+    """Route a case with the synergistic router.
+
+    Args:
+        system: the :class:`~repro.arch.MultiFpgaSystem` to route on.
+        netlist: the netlist to route.
+        delay_model: SLL/TDM delay model (defaults to the paper's).
+        config: router configuration (defaults to :class:`RouterConfig`).
+        tracer: optional :class:`repro.obs.Tracer` (or
+            :class:`FaultInjectingTracer`) instrumenting the run.
+        checkpoint_dir: when given, schema-versioned checkpoints are
+            written there at every barrier; any of them can be handed to
+            :func:`resume` later.
+
+    Returns:
+        The :class:`RoutingResult`; ``result.degraded`` is true when the
+        run exited early on ``config.wall_clock_budget_seconds``.
+    """
+    delay_model = delay_model if delay_model is not None else DelayModel()
+    config = config if config is not None else RouterConfig()
+    checkpoint = None
+    if checkpoint_dir is not None:
+        checkpoint = CheckpointManager(
+            checkpoint_dir, system, netlist, delay_model, config=config
+        )
+    return SynergisticRouter(
+        system,
+        netlist,
+        delay_model,
+        config=config,
+        tracer=tracer,
+        checkpoint=checkpoint,
+    ).route()
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """What :func:`evaluate` reports about a solution.
+
+    Attributes:
+        is_legal: complete and DRC-clean.
+        conflict_count: SLL capacity conflicts (#CONF).
+        critical_delay: system critical delay, or ``None`` when the
+            solution is incomplete.
+        unrouted: connection indices with no path.
+        violations: human-readable DRC violation strings.
+    """
+
+    is_legal: bool
+    conflict_count: int
+    critical_delay: Optional[float]
+    unrouted: List[int]
+    violations: List[str]
+
+
+def evaluate(
+    system: Any,
+    netlist: Netlist,
+    solution: RoutingSolution,
+    delay_model: Optional[DelayModel] = None,
+) -> Evaluation:
+    """Independently re-check a solution: design rules plus timing.
+
+    This is the library form of the ``repro evaluate`` subcommand — it
+    never trusts router-reported numbers, recomputing legality and the
+    critical delay from the solution alone.
+    """
+    delay_model = delay_model if delay_model is not None else DelayModel()
+    report = DesignRuleChecker(system, netlist, delay_model).check(solution)
+    critical_delay = None
+    if solution.is_complete:
+        timing = TimingAnalyzer(system, netlist, delay_model).analyze(solution)
+        critical_delay = float(timing.critical_delay)
+    return Evaluation(
+        is_legal=bool(report.is_clean and solution.is_complete),
+        conflict_count=int(solution.conflict_count()),
+        critical_delay=critical_delay,
+        unrouted=[int(i) for i in solution.unrouted_connections()],
+        violations=[str(v) for v in report.violations],
+    )
+
+
+def load_solution(
+    path: Union[str, Path],
+    system: Any,
+    netlist: Netlist,
+    *,
+    format: str = "auto",
+) -> RoutingSolution:
+    """Read a solution file written by the CLI or :mod:`repro.io`.
+
+    Args:
+        path: the solution file.
+        system: the system the solution routes on.
+        netlist: the netlist the solution routes.
+        format: ``"text"`` (the contest-style line format), ``"json"``
+            (``repro route --json`` output), or ``"auto"`` to sniff: a
+            ``.json`` suffix or a leading ``{`` means JSON.
+
+    Returns:
+        The parsed :class:`RoutingSolution`.
+    """
+    path = Path(path)
+    if format not in ("auto", "text", "json"):
+        raise ValueError(f"unknown solution format {format!r}")
+    if format == "auto":
+        if path.suffix == ".json":
+            format = "json"
+        else:
+            head = path.read_text()[:1].lstrip()
+            format = "json" if head.startswith("{") else "text"
+    if format == "json":
+        from repro.io import read_solution_json
+
+        return read_solution_json(path, system, netlist)
+    from repro.io import parse_solution_file
+
+    return parse_solution_file(path, system, netlist)
+
+
+def _summary(evaluation: Evaluation) -> Dict[str, Any]:
+    """A JSON-ready summary of an :class:`Evaluation` (CLI helper)."""
+    return {
+        "is_legal": evaluation.is_legal,
+        "conflict_count": evaluation.conflict_count,
+        "critical_delay": evaluation.critical_delay,
+        "num_unrouted": len(evaluation.unrouted),
+        "num_violations": len(evaluation.violations),
+    }

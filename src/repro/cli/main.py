@@ -6,13 +6,15 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import (
+    DelayModel,
+    DesignRuleChecker,
+    RouterConfig,
+    SynergisticRouter,
+    __version__,
+)
 from repro.benchgen import load_case
-from repro.core.router import SynergisticRouter
-from repro.core.config import RouterConfig
-from repro.drc import DesignRuleChecker
 from repro.io import parse_case_file, write_solution_file
-from repro.timing.delay import DelayModel
-from repro import __version__
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--html",
         metavar="PATH",
         help="write a self-contained HTML report to this file",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="write schema-versioned checkpoints at every barrier; resume "
+        "later with `repro resume DIR` (ours router only)",
     )
     parser.add_argument(
         "--precheck",
@@ -155,7 +163,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     baseline_cls = _resolve_router(args.router)
     if args.router == "portfolio":
-        from repro.core.portfolio import PortfolioRouter, default_portfolio
+        from repro.api import PortfolioRouter, default_portfolio
 
         config = RouterConfig(num_workers=args.workers)
         outcome = PortfolioRouter(
@@ -167,8 +175,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"  {row}")
     elif baseline_cls is None:
         config = RouterConfig(num_workers=args.workers)
+        checkpoint = None
+        if args.checkpoint_dir:
+            from repro.api import CheckpointManager
+
+            checkpoint = CheckpointManager(
+                args.checkpoint_dir, system, netlist, delay_model, config=config
+            )
         result = SynergisticRouter(
-            system, netlist, delay_model, config, tracer=tracer
+            system, netlist, delay_model, config, tracer=tracer, checkpoint=checkpoint
         ).route()
     else:
         result = baseline_cls(system, netlist, delay_model).route()

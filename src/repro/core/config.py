@@ -2,13 +2,18 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional
 
 
-@dataclass
+@dataclass(kw_only=True)
 class RouterConfig:
     """Tuning knobs of both router phases.
+
+    Construction is keyword-only: every knob must be named, so configs
+    survive field reordering and read unambiguously at call sites.
+    ``to_dict``/``from_dict`` give an exact round-trip used by
+    checkpoints (:mod:`repro.resilience`) and the CLI's ``--config``.
 
     Phase I (initial routing):
 
@@ -94,6 +99,23 @@ class RouterConfig:
             :class:`~repro.core.incidence.TdmIncidence` instead of
             cold-rebuilding it (bit-identical either way).  ``0.0``
             forces cold rebuilds.
+
+    Resilience (docs/resilience.md):
+
+    Attributes:
+        wall_clock_budget_seconds: graceful-degradation budget.  When
+            set, the router checks ``tracer.elapsed()`` against the
+            deadline at phase I round boundaries, after each LR
+            iteration and between timing-reroute rounds, and exits early
+            with the best-so-far legal solution, flagging the result (and
+            run report) ``degraded``.  ``None`` (default) never degrades.
+        worker_max_retries: bounded retries for *transient* worker-task
+            failures (:class:`repro.parallel.TransientWorkerError`, e.g.
+            a killed worker) in the phase II executor.  Tasks are pure
+            per-edge computations, so re-running one is idempotent; any
+            other exception still fails fast.
+        worker_retry_backoff_seconds: base sleep before a retry; doubles
+            per attempt.
     """
 
     mu_shared: float = 0.5
@@ -114,6 +136,10 @@ class RouterConfig:
     num_workers: int = 1
     parallel_net_threshold: int = 200_000
     incremental_rebuild_fraction: float = 0.2
+
+    wall_clock_budget_seconds: Optional[float] = None
+    worker_max_retries: int = 2
+    worker_retry_backoff_seconds: float = 0.01
 
     def __post_init__(self) -> None:
         if not 0.0 < self.mu_shared <= 1.0:
@@ -145,3 +171,41 @@ class RouterConfig:
             raise ValueError("refine_margin_epsilon must be non-negative")
         if not 0.0 <= self.incremental_rebuild_fraction <= 1.0:
             raise ValueError("incremental_rebuild_fraction must be in [0, 1]")
+        if (
+            self.wall_clock_budget_seconds is not None
+            and self.wall_clock_budget_seconds < 0
+        ):
+            raise ValueError("wall_clock_budget_seconds must be non-negative")
+        if self.worker_max_retries < 0:
+            raise ValueError("worker_max_retries must be non-negative")
+        if self.worker_retry_backoff_seconds < 0:
+            raise ValueError("worker_retry_backoff_seconds must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Exact dict round-trip (checkpoints, CLI --config)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Field-name → value mapping; ``from_dict(to_dict())`` is exact.
+
+        Every value is JSON-serializable (floats survive a JSON
+        round-trip bit-exactly; ``float("inf")`` serializes as JSON
+        ``Infinity``).
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RouterConfig":
+        """Build a config from a mapping, validating every key.
+
+        Args:
+            data: field-name → value mapping; may omit fields (defaults
+                apply) but must not contain unknown keys.
+
+        Raises:
+            ValueError: on unknown keys or invalid field values.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown RouterConfig fields: {', '.join(unknown)}")
+        return cls(**dict(data))

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.arch.system import MultiFpgaSystem
 from repro.core.config import RouterConfig
@@ -34,7 +34,12 @@ logger = get_logger(__name__)
 
 @dataclass
 class InitialRoutingStats:
-    """Diagnostics of one initial-routing run."""
+    """Diagnostics of one initial-routing run.
+
+    ``degraded`` is set when a wall-clock budget cut negotiation short
+    (docs/resilience.md); the remaining overflow is then still reported
+    in ``final_overflow``.
+    """
 
     negotiation_rounds: int = 0
     connections_routed: int = 0
@@ -42,6 +47,32 @@ class InitialRoutingStats:
     final_overflow: int = 0
     weight_mode: str = ""
     history: List[int] = field(default_factory=list)
+    degraded: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (checkpoint payloads)."""
+        return {
+            "negotiation_rounds": self.negotiation_rounds,
+            "connections_routed": self.connections_routed,
+            "reroutes": self.reroutes,
+            "final_overflow": self.final_overflow,
+            "weight_mode": self.weight_mode,
+            "history": list(self.history),
+            "degraded": self.degraded,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "InitialRoutingStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            negotiation_rounds=int(data["negotiation_rounds"]),
+            connections_routed=int(data["connections_routed"]),
+            reroutes=int(data["reroutes"]),
+            final_overflow=int(data["final_overflow"]),
+            weight_mode=str(data["weight_mode"]),
+            history=[int(v) for v in data["history"]],
+            degraded=bool(data.get("degraded", False)),
+        )
 
 
 class InitialRouter:
@@ -65,8 +96,30 @@ class InitialRouter:
         self._search = SearchStats()
         self._kernel: Optional[RoutingKernel] = None
 
-    def route(self) -> RoutingSolution:
-        """Produce an overlap-free (when feasible) routing topology."""
+    def route(
+        self,
+        *,
+        resume: Optional[Mapping[str, Any]] = None,
+        checkpoint: Optional[Any] = None,
+        deadline: Optional[float] = None,
+    ) -> RoutingSolution:
+        """Produce an overlap-free (when feasible) routing topology.
+
+        Args:
+            resume: a ``phase1.round`` checkpoint payload
+                (docs/resilience.md); the first pass is skipped, the
+                checkpointed paths/history are restored and negotiation
+                continues at the next round — bit-identical to never
+                having stopped.
+            checkpoint: duck-typed writer with ``save(barrier, payload)``
+                (e.g. :class:`repro.resilience.CheckpointManager`);
+                called after connection ordering, after every
+                negotiation round, and on completion.
+            deadline: wall-clock budget as a ``tracer.elapsed()`` value;
+                checked at round boundaries — when exceeded, negotiation
+                stops with the best-so-far topology and
+                ``stats.degraded`` set.
+        """
         netlist = self.netlist
         tracer = self.tracer
         with tracer.span("ir.prepare"):
@@ -81,53 +134,52 @@ class InitialRouter:
 
         state = NegotiationState(graph)
         cost_model = EdgeCostModel(graph, self.delay_model, self.config, weights)
+        paths: List[Optional[List[int]]] = [None] * netlist.num_connections
+        start_round = 0
+        if resume is not None:
+            # Restore the post-round snapshot *before* the kernel prices
+            # anything: its initial cost vector reads demand and history.
+            history = resume["history"]
+            if len(history) != graph.num_edges:
+                raise ValueError(
+                    f"checkpoint has {len(history)} history entries, "
+                    f"graph has {graph.num_edges} edges"
+                )
+            cost_model.history[:] = [float(h) for h in history]
+            for conn_index, path in enumerate(resume["paths"]):
+                if path is not None:
+                    dies = [int(d) for d in path]
+                    paths[conn_index] = dies
+                    state.add_path(
+                        netlist.connections[conn_index].net_index, dies
+                    )
+            self.stats = InitialRoutingStats.from_dict(resume["stats"])
+            start_round = int(resume["round"]) + 1
         if self.config.use_kernel:
             self._kernel = RoutingKernel(
                 graph, cost_model, state, search_stats=self._search
             )
-        paths: List[Optional[List[int]]] = [None] * netlist.num_connections
 
-        with tracer.span("ir.first_pass"):
-            order = self._steiner_first_pass(order, graph, state, cost_model, paths)
-            if self.config.initial_batch_size:
-                self._batched_first_pass(order, graph, state, cost_model, paths)
-            elif self._kernel is not None:
-                # Inlined _route_connection: this loop runs once per
-                # connection and the call/attribute overhead is measurable
-                # at case07 scale.
-                kernel = self._kernel
-                sync = kernel.sync
-                search = kernel.route
-                net_edges_view = state.net_edges_view
-                add_path = state.add_path
-                connections = netlist.connections
-                for conn_index in order:
-                    conn = connections[conn_index]
-                    sync()
-                    path = search(
-                        conn.source_die,
-                        conn.sink_die,
-                        net_edges_view(conn.net_index),
-                    )
-                    if path is None:
-                        raise RuntimeError(
-                            f"connection {conn_index} (die {conn.source_die} "
-                            f"-> {conn.sink_die}) is unroutable: system "
-                            "graph disconnected"
-                        )
-                    add_path(conn.net_index, path)
-                    paths[conn_index] = path
-                self.stats.connections_routed += len(order)
-            else:
-                for conn_index in order:
-                    paths[conn_index] = self._route_connection(
-                        conn_index, graph, state, cost_model
-                    )
-                    self.stats.connections_routed += 1
+        if resume is None:
+            if checkpoint is not None:
+                checkpoint.save(
+                    "phase1.ordering",
+                    {"order": list(order), "weight_mode": self.stats.weight_mode},
+                )
+            self._first_pass(order, graph, state, cost_model, paths)
 
         net_weight = self._net_routing_weights(dist)
         with tracer.span("ir.negotiation"):
-            for round_index in range(self.config.max_reroute_iterations):
+            for round_index in range(start_round, self.config.max_reroute_iterations):
+                if deadline is not None and tracer.elapsed() > deadline:
+                    self.stats.degraded = True
+                    logger.warning(
+                        "phase I budget exhausted before round %d; keeping "
+                        "best-so-far topology (overflow %d)",
+                        round_index,
+                        state.total_overflow(),
+                    )
+                    break
                 overflowed = state.overflowed_sll_edges()
                 overflow = state.total_overflow()
                 self.stats.history.append(overflow)
@@ -181,6 +233,11 @@ class InitialRouter:
                             conn_index, graph, state, cost_model
                         )
                         self.stats.reroutes += 1
+                if checkpoint is not None:
+                    checkpoint.save(
+                        "phase1.round",
+                        self._round_payload(round_index, paths, cost_model),
+                    )
 
         self.stats.final_overflow = state.total_overflow()
         if self._kernel is not None:
@@ -201,12 +258,81 @@ class InitialRouter:
             self.stats.final_overflow,
             self.stats.weight_mode,
         )
+        if checkpoint is not None:
+            checkpoint.save(
+                "phase1.done",
+                self._round_payload(self.stats.negotiation_rounds, paths, cost_model),
+            )
 
         solution = RoutingSolution(self.system, netlist)
         for conn_index, path in enumerate(paths):
             if path is not None:
                 solution.set_path(conn_index, path)
         return solution
+
+    # ------------------------------------------------------------------
+    def _round_payload(
+        self,
+        round_index: int,
+        paths: List[Optional[List[int]]],
+        cost_model: EdgeCostModel,
+    ) -> Dict[str, Any]:
+        """Checkpoint payload capturing the negotiation loop state."""
+        return {
+            "round": round_index,
+            "paths": [list(p) if p is not None else None for p in paths],
+            "history": list(cost_model.history),
+            "stats": self.stats.to_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    def _first_pass(
+        self,
+        order: List[int],
+        graph: RoutingGraph,
+        state: NegotiationState,
+        cost_model: EdgeCostModel,
+        paths: List[Optional[List[int]]],
+    ) -> None:
+        """Route every connection once (Steiner / batched / per-connection)."""
+        netlist = self.netlist
+        with self.tracer.span("ir.first_pass"):
+            order = self._steiner_first_pass(order, graph, state, cost_model, paths)
+            if self.config.initial_batch_size:
+                self._batched_first_pass(order, graph, state, cost_model, paths)
+            elif self._kernel is not None:
+                # Inlined _route_connection: this loop runs once per
+                # connection and the call/attribute overhead is measurable
+                # at case07 scale.
+                kernel = self._kernel
+                sync = kernel.sync
+                search = kernel.route
+                net_edges_view = state.net_edges_view
+                add_path = state.add_path
+                connections = netlist.connections
+                for conn_index in order:
+                    conn = connections[conn_index]
+                    sync()
+                    path = search(
+                        conn.source_die,
+                        conn.sink_die,
+                        net_edges_view(conn.net_index),
+                    )
+                    if path is None:
+                        raise RuntimeError(
+                            f"connection {conn_index} (die {conn.source_die} "
+                            f"-> {conn.sink_die}) is unroutable: system "
+                            "graph disconnected"
+                        )
+                    add_path(conn.net_index, path)
+                    paths[conn_index] = path
+                self.stats.connections_routed += len(order)
+            else:
+                for conn_index in order:
+                    paths[conn_index] = self._route_connection(
+                        conn_index, graph, state, cost_model
+                    )
+                    self.stats.connections_routed += 1
 
     # ------------------------------------------------------------------
     def _steiner_first_pass(

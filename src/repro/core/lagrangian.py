@@ -17,7 +17,7 @@ of :class:`repro.core.incidence.TdmIncidence`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -44,10 +44,16 @@ class LrIteration:
 
 @dataclass
 class LrHistory:
-    """Convergence history of the LR loop."""
+    """Convergence history of the LR loop.
+
+    ``budget_stopped`` records that a wall-clock budget ended the loop
+    early (docs/resilience.md): the best-so-far ratios are still legal
+    and are what the run returns, but the result is flagged degraded.
+    """
 
     iterations: List[LrIteration] = field(default_factory=list)
     converged: bool = False
+    budget_stopped: bool = False
 
     @property
     def num_iterations(self) -> int:
@@ -71,6 +77,41 @@ class LrHistory:
         if not self.iterations:
             return float("inf")
         return min(it.critical_delay for it in self.iterations)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (checkpoint payloads); floats stay bit-exact."""
+        return {
+            "converged": self.converged,
+            "budget_stopped": self.budget_stopped,
+            "iterations": [
+                {
+                    "iteration": it.iteration,
+                    "critical_delay": it.critical_delay,
+                    "lower_bound": it.lower_bound,
+                    "gap": it.gap,
+                    "acceleration": it.acceleration,
+                }
+                for it in self.iterations
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LrHistory":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            iterations=[
+                LrIteration(
+                    iteration=int(it["iteration"]),
+                    critical_delay=float(it["critical_delay"]),
+                    lower_bound=float(it["lower_bound"]),
+                    gap=float(it["gap"]),
+                    acceleration=float(it["acceleration"]),
+                )
+                for it in data["iterations"]
+            ],
+            converged=bool(data["converged"]),
+            budget_stopped=bool(data.get("budget_stopped", False)),
+        )
 
 
 class LagrangianTdmAssigner:
@@ -136,7 +177,11 @@ class LagrangianTdmAssigner:
             self._lam_work = np.empty(incidence.num_connections, dtype=np.float64)
 
     # ------------------------------------------------------------------
-    def solve(self, warm_start: Optional[np.ndarray] = None) -> "LrResult":
+    def solve(
+        self,
+        warm_start: Optional[np.ndarray] = None,
+        deadline: Optional[float] = None,
+    ) -> "LrResult":
         """Run the LR loop and return the best continuous ratios found.
 
         Args:
@@ -144,6 +189,10 @@ class LagrangianTdmAssigner:
                 similar topology (e.g. the previous timing-reroute round);
                 re-normalized before use.  Defaults to the paper's uniform
                 ``1/||C||`` initialization.
+            deadline: wall-clock budget as a ``tracer.elapsed()`` value;
+                checked after each iteration (at least one always runs).
+                When exceeded, the loop stops with the best-so-far
+                ratios and marks ``history.budget_stopped``.
         """
         inc = self.incidence
         cfg = self.config
@@ -204,6 +253,15 @@ class LagrangianTdmAssigner:
                 best_delays = delays.copy() if buffered else delays
             if gap < cfg.lr_epsilon:
                 history.converged = True
+                break
+            if deadline is not None and self.tracer.elapsed() > deadline:
+                history.budget_stopped = True
+                logger.warning(
+                    "LR budget exhausted after %d iterations; keeping "
+                    "best-so-far ratios (gap %.2e)",
+                    iteration + 1,
+                    gap,
+                )
                 break
             if self.update == "accelerated":
                 # Acceleration factor (the paper follows [15]): speed up

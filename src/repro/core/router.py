@@ -5,7 +5,9 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 from repro.core.config import RouterConfig
 from repro.core.incidence import TdmIncidence, build_incidence
@@ -106,6 +108,10 @@ class RoutingResult:
         telemetry: aggregate obs metrics of the run (counters, gauges,
             span timers, histograms); serialized into the run report by
             :func:`repro.obs.build_run_report`.
+        degraded: True when a wall-clock budget
+            (``RouterConfig.wall_clock_budget_seconds``) cut the run
+            short; the solution is the best-so-far legal state and the
+            run report carries the same flag (docs/resilience.md).
     """
 
     solution: RoutingSolution
@@ -118,6 +124,7 @@ class RoutingResult:
     wire_stats: Optional[WireAssignmentStats] = None
     timing_reroute_moves: int = 0
     telemetry: Optional[TelemetrySnapshot] = None
+    degraded: bool = False
 
     @property
     def is_legal(self) -> bool:
@@ -154,7 +161,12 @@ class TdmAssigner:
                 workers = min(10, os.cpu_count() or 1)
             else:
                 workers = 1
-        return ParallelExecutor(workers, tracer=self.tracer)
+        return ParallelExecutor(
+            workers,
+            tracer=self.tracer,
+            max_retries=self.config.worker_max_retries,
+            retry_backoff=self.config.worker_retry_backoff_seconds,
+        )
 
     def assign(
         self,
@@ -227,6 +239,10 @@ class SynergisticRouter:
         tracer: obs tracer receiving spans, counters and per-iteration
             events; defaults to a fresh null-sink tracer so an
             uninstrumented run pays one attribute check per hot call site.
+        checkpoint: duck-typed writer with ``save(barrier, payload)``
+            (e.g. :class:`repro.resilience.CheckpointManager`); when set,
+            the run persists its state at every barrier of
+            docs/resilience.md so it can be resumed bit-identically.
     """
 
     def __init__(
@@ -236,6 +252,7 @@ class SynergisticRouter:
         delay_model: Optional[DelayModel] = None,
         config: Optional[RouterConfig] = None,
         tracer: Optional[Tracer] = None,
+        checkpoint: Optional[Any] = None,
     ) -> None:
         netlist.validate_against(system.num_dies)
         self.system = system
@@ -243,10 +260,21 @@ class SynergisticRouter:
         self.delay_model = delay_model if delay_model is not None else DelayModel()
         self.config = config if config is not None else RouterConfig()
         self.tracer = tracer if tracer is not None else Tracer()
+        self.checkpoint = checkpoint
 
-    def route(self) -> RoutingResult:
-        """Run both phases (plus the timing-driven outer loop)."""
+    def route(self, resume: Optional[Mapping[str, Any]] = None) -> RoutingResult:
+        """Run both phases (plus the timing-driven outer loop).
+
+        Args:
+            resume: a ``{"barrier": ..., "payload": ...}`` mapping from a
+                checkpoint (use :func:`repro.resilience.resume` rather
+                than building one by hand).  The run restores the
+                barrier's state and falls through into the ordinary
+                control flow, so the result is bit-identical to an
+                uninterrupted run.
+        """
         tracer = self.tracer
+        checkpoint = self.checkpoint
         # Timer values before the run: route() may be called repeatedly on
         # one tracer, and PhaseTimes must cover this run only.
         baseline = (
@@ -254,12 +282,81 @@ class SynergisticRouter:
             tracer.timer(PHASE_TA),
             tracer.timer(PHASE_LGWA),
         )
+        budget = self.config.wall_clock_budget_seconds
+        deadline = tracer.elapsed() + budget if budget is not None else None
+        degraded = False
 
-        with tracer.span(PHASE_IR):
-            initial = InitialRouter(
-                self.system, self.netlist, self.delay_model, self.config, tracer=tracer
+        barrier = resume["barrier"] if resume is not None else None
+        payload = resume["payload"] if resume is not None else None
+
+        # --- Phase I (run, resume mid-negotiation, or restore) ---------
+        initial_stats: Optional[InitialRoutingStats] = None
+        lr_history = wire_stats = multipliers = incidence = None
+        moves = 0
+        start_round = 0
+        phase2_state = "run"
+        if barrier is None or barrier == "phase1.ordering":
+            # phase1.ordering carries no loop state: the ordering is
+            # recomputed deterministically, so resume == fresh run.
+            with tracer.span(PHASE_IR):
+                initial = InitialRouter(
+                    self.system,
+                    self.netlist,
+                    self.delay_model,
+                    self.config,
+                    tracer=tracer,
+                )
+                solution = initial.route(checkpoint=checkpoint, deadline=deadline)
+            initial_stats = initial.stats
+            degraded |= initial.stats.degraded
+        elif barrier == "phase1.round":
+            with tracer.span(PHASE_IR):
+                initial = InitialRouter(
+                    self.system,
+                    self.netlist,
+                    self.delay_model,
+                    self.config,
+                    tracer=tracer,
+                )
+                solution = initial.route(
+                    resume=payload, checkpoint=checkpoint, deadline=deadline
+                )
+            initial_stats = initial.stats
+            degraded |= initial.stats.degraded
+        elif barrier == "phase1.done":
+            solution = self._restore_topology(payload["paths"])
+            initial_stats = InitialRoutingStats.from_dict(payload["stats"])
+            degraded |= initial_stats.degraded
+        elif barrier in ("phase2.lr", "phase2.legalized"):
+            solution = self._restore_topology(payload["paths"])
+            initial_stats = self._initial_stats_from(payload)
+            phase2_state = ("resume", barrier, payload)
+        elif barrier in ("phase2.assigned", "phase2.round", "final"):
+            from repro.io.json_format import solution_from_dict
+
+            solution = solution_from_dict(
+                payload["solution"], self.system, self.netlist
             )
-            solution = initial.route()
+            initial_stats = self._initial_stats_from(payload)
+            multipliers = self._multipliers_from(payload.get("multipliers"))
+            lr_history = (
+                LrHistory.from_dict(payload["lr_history"])
+                if payload.get("lr_history") is not None
+                else None
+            )
+            wire_stats = self._wire_stats_from(payload.get("wire_stats"))
+            moves = int(payload.get("moves", 0))
+            degraded |= bool(payload.get("degraded", False))
+            if barrier == "final":
+                phase2_state = "done"
+                start_round = self.config.timing_reroute_rounds
+            else:
+                phase2_state = "assigned"
+                start_round = int(payload.get("timing_round", -1)) + 1
+        else:
+            raise ValueError(f"unknown resume barrier {barrier!r}")
+        if initial_stats is not None:
+            degraded |= initial_stats.degraded
 
         # One executor serves every phase II stage of every round; its
         # thread pool (when parallel) is spawned once and reused.
@@ -267,22 +364,62 @@ class SynergisticRouter:
             self.system, self.netlist, self.delay_model, self.config, tracer=tracer
         )._executor()
         try:
-            lr_history, wire_stats, multipliers, incidence = self._run_phase2(
-                solution, executor=executor
-            )
             analyzer = TimingAnalyzer(self.system, self.netlist, self.delay_model)
+            if phase2_state == "run":
+                lr_history, wire_stats, multipliers, incidence = self._run_phase2(
+                    solution,
+                    executor=executor,
+                    checkpoint=checkpoint,
+                    deadline=deadline,
+                    initial_stats=initial_stats,
+                )
+            elif isinstance(phase2_state, tuple):
+                _, p2_barrier, p2_payload = phase2_state
+                lr_history, wire_stats, multipliers, incidence = (
+                    self._resume_phase2(solution, p2_barrier, p2_payload, executor)
+                )
+            if lr_history is not None and lr_history.budget_stopped:
+                degraded = True
+            phase2_ran = phase2_state == "run" or isinstance(phase2_state, tuple)
+            if checkpoint is not None and phase2_ran and lr_history is not None:
+                checkpoint.save(
+                    "phase2.assigned",
+                    self._phase2_payload(
+                        solution,
+                        multipliers,
+                        lr_history,
+                        wire_stats,
+                        initial_stats,
+                        timing_round=-1,
+                        moves=0,
+                        degraded=degraded,
+                    ),
+                )
             timing = analyzer.analyze(solution)
 
             # Timing-driven outer loop: reroute measured-critical
             # connections, re-assign ratios, keep only strict improvements.
-            moves = 0
-            if timing.critical_connection >= 0 and self.config.timing_reroute_rounds:
+            if (
+                phase2_state != "done"
+                and timing.critical_connection >= 0
+                and self.config.timing_reroute_rounds
+            ):
                 from repro.core.timing_reroute import TimingDrivenRefiner
 
                 refiner = TimingDrivenRefiner(
                     self.system, self.netlist, self.delay_model, self.config
                 )
-                for round_index in range(self.config.timing_reroute_rounds):
+                for round_index in range(
+                    start_round, self.config.timing_reroute_rounds
+                ):
+                    if deadline is not None and tracer.elapsed() > deadline:
+                        degraded = True
+                        logger.warning(
+                            "budget exhausted before timing-reroute round "
+                            "%d; keeping best-so-far solution",
+                            round_index,
+                        )
+                        break
                     # The refinement search counts as initial-routing work,
                     # so it accumulates into the same phase timer.
                     with tracer.span(PHASE_IR, kind="timing_reroute"):
@@ -303,8 +440,11 @@ class SynergisticRouter:
                             executor=executor,
                             prev_incidence=incidence,
                             changed_connections=outcome.changed_connections,
+                            deadline=deadline,
                         )
                     )
+                    if cand_lr is not None and cand_lr.budget_stopped:
+                        degraded = True
                     cand_timing = analyzer.analyze(candidate)
                     improved = (
                         cand_timing.critical_delay < timing.critical_delay - 1e-9
@@ -332,6 +472,20 @@ class SynergisticRouter:
                             else multipliers
                         )
                         moves += outcome.moves
+                        if checkpoint is not None:
+                            checkpoint.save(
+                                "phase2.round",
+                                self._phase2_payload(
+                                    solution,
+                                    multipliers,
+                                    lr_history,
+                                    wire_stats,
+                                    initial_stats,
+                                    timing_round=round_index,
+                                    moves=moves,
+                                    degraded=degraded,
+                                ),
+                            )
                     else:
                         break
         finally:
@@ -340,28 +494,174 @@ class SynergisticRouter:
 
         times = PhaseTimes.from_tracer(tracer, baseline)
         conflict_count = solution.conflict_count()
+        if degraded:
+            tracer.gauge("router.degraded", 1.0)
         logger.info(
             "routing done: critical delay %.3f, %d conflicts, "
-            "%.2fs (IR %.2fs, TA %.2fs, LG&WA %.2fs)",
+            "%.2fs (IR %.2fs, TA %.2fs, LG&WA %.2fs)%s",
             timing.critical_delay,
             conflict_count,
             times.total,
             times.initial_routing,
             times.tdm_assignment,
             times.legalization_wire_assignment,
+            " [degraded: budget exhausted]" if degraded else "",
         )
-        return RoutingResult(
+        result = RoutingResult(
             solution=solution,
             critical_delay=timing.critical_delay,
             conflict_count=conflict_count,
             phase_times=times,
             timing=timing,
             lr_history=lr_history,
-            initial_stats=initial.stats,
+            initial_stats=initial_stats,
             wire_stats=wire_stats,
             timing_reroute_moves=moves,
             telemetry=tracer.snapshot(),
+            degraded=degraded,
         )
+        if checkpoint is not None:
+            checkpoint.save(
+                "final",
+                self._phase2_payload(
+                    solution,
+                    multipliers,
+                    lr_history,
+                    wire_stats,
+                    initial_stats,
+                    timing_round=self.config.timing_reroute_rounds,
+                    moves=moves,
+                    degraded=degraded,
+                ),
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Checkpoint payload helpers (formats in docs/resilience.md)
+    # ------------------------------------------------------------------
+    def _restore_topology(self, paths: List[Optional[List[int]]]) -> RoutingSolution:
+        """A solution holding the checkpointed paths (no ratios/wires)."""
+        solution = RoutingSolution(self.system, self.netlist)
+        for conn_index, path in enumerate(paths):
+            if path is not None:
+                solution.set_path(conn_index, [int(d) for d in path])
+        return solution
+
+    @staticmethod
+    def _paths_payload(solution: RoutingSolution) -> List[Optional[List[int]]]:
+        """Per-connection die paths, JSON-ready."""
+        return [
+            list(solution.path(i)) if solution.path(i) is not None else None
+            for i in range(solution.netlist.num_connections)
+        ]
+
+    @staticmethod
+    def _multipliers_from(data: Optional[List[float]]) -> Optional[np.ndarray]:
+        return None if data is None else np.asarray(data, dtype=np.float64)
+
+    @staticmethod
+    def _multipliers_payload(multipliers) -> Optional[List[float]]:
+        return None if multipliers is None else [float(x) for x in multipliers]
+
+    @staticmethod
+    def _wire_stats_from(data: Optional[Mapping[str, int]]):
+        if data is None:
+            return None
+        return WireAssignmentStats(**{k: int(v) for k, v in data.items()})
+
+    @staticmethod
+    def _wire_stats_payload(stats: Optional[WireAssignmentStats]):
+        if stats is None:
+            return None
+        return {
+            "wires_used": stats.wires_used,
+            "nets_assigned": stats.nets_assigned,
+            "overflow_bumps": stats.overflow_bumps,
+            "critical_moves": stats.critical_moves,
+        }
+
+    @staticmethod
+    def _initial_stats_from(
+        payload: Mapping[str, Any]
+    ) -> Optional[InitialRoutingStats]:
+        data = payload.get("initial_stats")
+        return InitialRoutingStats.from_dict(data) if data is not None else None
+
+    def _phase2_payload(
+        self,
+        solution: RoutingSolution,
+        multipliers,
+        lr_history: Optional[LrHistory],
+        wire_stats: Optional[WireAssignmentStats],
+        initial_stats: Optional[InitialRoutingStats],
+        *,
+        timing_round: int,
+        moves: int,
+        degraded: bool,
+    ) -> Dict[str, Any]:
+        """Payload of the full-solution barriers (assigned/round/final)."""
+        from repro.io.json_format import solution_to_dict
+
+        return {
+            "solution": solution_to_dict(solution),
+            "multipliers": self._multipliers_payload(multipliers),
+            "lr_history": lr_history.to_dict() if lr_history is not None else None,
+            "wire_stats": self._wire_stats_payload(wire_stats),
+            "initial_stats": (
+                initial_stats.to_dict() if initial_stats is not None else None
+            ),
+            "timing_round": timing_round,
+            "moves": moves,
+            "degraded": degraded,
+        }
+
+    def _resume_phase2(
+        self,
+        solution: RoutingSolution,
+        barrier: str,
+        payload: Mapping[str, Any],
+        executor: ParallelExecutor,
+    ) -> "tuple[Optional[LrHistory], Optional[WireAssignmentStats], object, TdmIncidence]":
+        """Finish phase II from a ``phase2.lr``/``phase2.legalized`` payload.
+
+        The incidence is cold-rebuilt (bit-equal to any incremental
+        build), the checkpointed ratios replace the skipped LR solve, and
+        legalization/wire assignment continue exactly as the uninterrupted
+        run would have.
+        """
+        tracer = self.tracer
+        incidence, _ = build_incidence(
+            self.system, self.netlist, solution, self.delay_model, tracer=tracer
+        )
+        multipliers = self._multipliers_from(payload.get("multipliers"))
+        lr_history = LrHistory.from_dict(payload["lr_history"])
+        with tracer.span(PHASE_LGWA):
+            if barrier == "phase2.lr":
+                ratios = np.asarray(payload["ratios"], dtype=np.float64)
+                legal = TdmLegalizer(
+                    incidence, self.config, executor, tracer=tracer
+                ).legalize(ratios)
+                legal_ratios = legal.ratios
+                wire_budgets = legal.wire_budgets
+                criticality = legal.criticality
+            else:
+                legal_ratios = np.asarray(
+                    payload["legal_ratios"], dtype=np.float64
+                )
+                wire_budgets = {
+                    (int(edge), int(direction)): int(budget)
+                    for edge, direction, budget in payload["wire_budgets"]
+                }
+                criticality = (
+                    np.asarray(payload["criticality"], dtype=np.float64)
+                    if payload.get("criticality") is not None
+                    else None
+                )
+            incidence.write_ratios(solution, legal_ratios)
+            wire_stats = WireAssigner(
+                incidence, self.config, executor, tracer=tracer
+            ).assign(solution, legal_ratios, wire_budgets, criticality)
+        return lr_history, wire_stats, multipliers, incidence
 
     def _run_phase2(
         self,
@@ -370,6 +670,9 @@ class SynergisticRouter:
         executor: Optional[ParallelExecutor] = None,
         prev_incidence: Optional[TdmIncidence] = None,
         changed_connections=None,
+        checkpoint: Optional[Any] = None,
+        deadline: Optional[float] = None,
+        initial_stats: Optional[InitialRoutingStats] = None,
     ) -> "tuple[Optional[LrHistory], Optional[WireAssignmentStats], object, TdmIncidence]":
         """LR + legalization + wire assignment on one topology.
 
@@ -388,6 +691,13 @@ class SynergisticRouter:
                 ``config.incremental_rebuild_fraction``).
             changed_connections: connection indices rerouted since
                 ``prev_incidence`` was built.
+            checkpoint: when set (initial pass only — timing-round
+                candidates may be rejected, so their intermediate states
+                are not resumable), saves the ``phase2.lr`` and
+                ``phase2.legalized`` barriers.
+            deadline: wall-clock budget forwarded to the LR solve.
+            initial_stats: phase I diagnostics embedded into checkpoint
+                payloads.
 
         Returns the LR history, wire stats, the final multipliers (a warm
         start for the next timing-reroute round) and the incidence (the
@@ -417,12 +727,57 @@ class SynergisticRouter:
             with tracer.span(PHASE_TA):
                 lr_result = LagrangianTdmAssigner(
                     incidence, self.config, tracer=tracer
-                ).solve(warm_start=warm_start)
+                ).solve(warm_start=warm_start, deadline=deadline)
+            if checkpoint is not None:
+                checkpoint.save(
+                    "phase2.lr",
+                    {
+                        "paths": self._paths_payload(solution),
+                        "ratios": [float(r) for r in lr_result.ratios],
+                        "multipliers": self._multipliers_payload(
+                            lr_result.multipliers
+                        ),
+                        "lr_history": lr_result.history.to_dict(),
+                        "initial_stats": (
+                            initial_stats.to_dict()
+                            if initial_stats is not None
+                            else None
+                        ),
+                    },
+                )
 
             with tracer.span(PHASE_LGWA):
                 legal = TdmLegalizer(
                     incidence, self.config, executor, tracer=tracer
                 ).legalize(lr_result.ratios)
+                if checkpoint is not None:
+                    checkpoint.save(
+                        "phase2.legalized",
+                        {
+                            "paths": self._paths_payload(solution),
+                            "legal_ratios": [float(r) for r in legal.ratios],
+                            "wire_budgets": [
+                                [edge, direction, budget]
+                                for (edge, direction), budget in sorted(
+                                    legal.wire_budgets.items()
+                                )
+                            ],
+                            "criticality": (
+                                [float(c) for c in legal.criticality]
+                                if legal.criticality is not None
+                                else None
+                            ),
+                            "multipliers": self._multipliers_payload(
+                                lr_result.multipliers
+                            ),
+                            "lr_history": lr_result.history.to_dict(),
+                            "initial_stats": (
+                                initial_stats.to_dict()
+                                if initial_stats is not None
+                                else None
+                            ),
+                        },
+                    )
                 incidence.write_ratios(solution, legal.ratios)
                 wire_stats = WireAssigner(
                     incidence, self.config, executor, tracer=tracer

@@ -19,6 +19,16 @@ from repro.io.solution_io import (
     write_solution,
     write_solution_file,
 )
+from repro.io.checkpoint_io import (
+    CHECKPOINT_KIND,
+    CHECKPOINT_SCHEMA_VERSION,
+    KNOWN_BARRIERS,
+    CheckpointFormatError,
+    assert_valid_checkpoint,
+    read_checkpoint,
+    validate_checkpoint,
+    write_checkpoint,
+)
 from repro.io.json_format import (
     case_from_dict,
     case_to_dict,
@@ -31,7 +41,15 @@ from repro.io.json_format import (
 )
 
 __all__ = [
+    "CHECKPOINT_KIND",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "KNOWN_BARRIERS",
+    "CheckpointFormatError",
+    "assert_valid_checkpoint",
     "case_from_dict",
+    "read_checkpoint",
+    "validate_checkpoint",
+    "write_checkpoint",
     "case_to_dict",
     "parse_case",
     "parse_case_file",

@@ -26,6 +26,7 @@ and stays quiet) — see ``docs/static-analysis.md``.
 from __future__ import annotations
 
 import ast
+from pathlib import Path
 from typing import Iterator, Set, Tuple
 
 from repro.lint.engine import (
@@ -105,6 +106,7 @@ class PrintRule(Rule):
     )
     remedy = "use repro.obs.get_logger(...)"
     node_types = (ast.Call,)
+    include = ("repro",)
     exclude = _TERMINAL_SCOPES
 
     def visit(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
@@ -461,6 +463,54 @@ class EnvAccessRule(Rule):
         elif isinstance(node, ast.Call):
             if dotted_name(node.func) == "os.getenv":
                 yield ctx.finding(self, node, "os.getenv() call")
+
+
+@register
+class DeepCoreImportRule(Rule):
+    """REPRO011: no ``repro.core.*`` imports from the CLI or examples.
+
+    :mod:`repro.api` is the stable facade (docs/api.md); the submodule
+    layout under :mod:`repro.core` is free to move between releases.
+    User-facing layers — the CLI and the runnable examples, which double
+    as downstream-usage documentation — must demonstrate the supported
+    import path, not the internal one.
+
+    Examples are not importable as ``repro.*`` modules (their dotted
+    name degrades to the file stem), so scoping is by path here rather
+    than by the ``include`` prefix mechanism.
+    """
+
+    rule_id = "REPRO011"
+    title = "no repro.core imports in cli/examples"
+    rationale = (
+        "deep imports freeze the internal submodule layout into "
+        "user-facing code; the repro.api facade is the stable surface"
+    )
+    remedy = "import from repro or repro.api instead of repro.core.*"
+    node_types = (ast.Import, ast.ImportFrom)
+
+    @staticmethod
+    def _user_facing(ctx: FileContext) -> bool:
+        if Rule._matches(ctx.module, ("repro.cli",)):
+            return True
+        return "examples" in Path(ctx.path).parts
+
+    @staticmethod
+    def _banned(name: str) -> bool:
+        return name == "repro.core" or name.startswith("repro.core.")
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ``import repro.core...`` / ``from repro.core... import``."""
+        if not self._user_facing(ctx):
+            return
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 0 and self._banned(module):
+                yield ctx.finding(self, node, f"from {module} import ...")
+        else:
+            for alias in node.names:
+                if self._banned(alias.name):
+                    yield ctx.finding(self, node, f"import {alias.name}")
 
 
 #: Scope tuples re-exported for the docs generator and tests.

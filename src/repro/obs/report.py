@@ -52,6 +52,7 @@ def build_run_report(
             "conflict_count": int(result.conflict_count),
             "is_legal": bool(result.conflict_count == 0),
             "timing_reroute_moves": int(getattr(result, "timing_reroute_moves", 0)),
+            "degraded": bool(getattr(result, "degraded", False)),
         },
         "phase_times": {
             "initial_routing": float(times.initial_routing),

@@ -225,6 +225,16 @@ class Tracer:
         self.sink.emit(event)
 
     # -- reads ---------------------------------------------------------
+    def elapsed(self) -> float:
+        """Monotonic seconds since the tracer's construction.
+
+        The sanctioned wall-clock source for core code (REPRO001 bans
+        ``time.time()`` there): graceful-degradation budgets compare
+        ``tracer.elapsed()`` against a deadline instead of reading the
+        system clock.
+        """
+        return time.perf_counter() - self.epoch
+
     def counter(self, name: str) -> int:
         """Current value of a counter (0 when never incremented)."""
         return self._counters.get(name, 0)

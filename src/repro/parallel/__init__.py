@@ -1,5 +1,10 @@
 """Parallel-map substrate standing in for the paper's OpenMP threading."""
 
-from repro.parallel.executor import ParallelExecutor, chunked
+from repro.parallel.executor import (
+    TASK_SITE,
+    ParallelExecutor,
+    TransientWorkerError,
+    chunked,
+)
 
-__all__ = ["ParallelExecutor", "chunked"]
+__all__ = ["TASK_SITE", "ParallelExecutor", "TransientWorkerError", "chunked"]

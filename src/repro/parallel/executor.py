@@ -8,16 +8,38 @@ per-edge, object-level work.  Threads are used because the per-edge work
 is dominated by numpy calls that release the GIL; callers can force
 sequential execution (the paper, likewise, uses one thread for designs
 under 200k nets to avoid scheduling overhead).
+
+Failure semantics (docs/resilience.md): a task raising
+:class:`TransientWorkerError` — the executor's model of a killed or
+preempted worker — is retried up to ``max_retries`` times with doubling
+backoff.  The per-edge tasks dispatched here are pure functions of their
+inputs, so a re-run is idempotent.  Any other exception fails fast and
+propagates to the dispatch thread.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Fault-injection site fired once per task attempt (see
+#: :mod:`repro.resilience.faults`).
+TASK_SITE = "parallel.task"
+
+
+class TransientWorkerError(RuntimeError):
+    """A worker failure that is safe to retry (task is idempotent).
+
+    Raised (or injected — :class:`repro.resilience.faults.WorkerKilled`
+    subclasses this) when a worker dies mid-task.  The executor's retry
+    loop treats exactly this hierarchy as retryable; everything else
+    fails fast.
+    """
 
 
 def chunked(items: Sequence[T], chunk_size: int) -> Iterator[List[T]]:
@@ -39,6 +61,15 @@ class ParallelExecutor:
             :meth:`map` call is wrapped in a ``parallel.map`` span with
             task/worker counts (dispatch-side only — worker threads are
             never touched, so sinks see a single-threaded span stream).
+        max_retries: retries per task for :class:`TransientWorkerError`
+            failures; ``0`` disables retrying.
+        retry_backoff: base sleep in seconds before a retry, doubling per
+            attempt (``backoff * 2**(attempt-1)``).
+        fault_plan: deterministic fault injector fired once per task
+            attempt at site ``"parallel.task"``; defaults to the tracer's
+            ``fault_plan`` attribute when present (so a
+            :class:`repro.resilience.faults.FaultInjectingTracer` wires
+            the whole stack without core code changes).
 
     The thread pool is created lazily on the first parallel :meth:`map`
     and reused by every later call — one executor can serve a whole
@@ -48,13 +79,30 @@ class ParallelExecutor:
     the pool on the next parallel map.
     """
 
-    def __init__(self, num_workers: int = 1, tracer: Optional[object] = None) -> None:
+    def __init__(
+        self,
+        num_workers: int = 1,
+        tracer: Optional[object] = None,
+        *,
+        max_retries: int = 0,
+        retry_backoff: float = 0.01,
+        fault_plan: Optional[object] = None,
+    ) -> None:
         if num_workers is None:
             num_workers = min(10, os.cpu_count() or 1)
         if num_workers < 0:
             raise ValueError("num_workers must be non-negative")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
         self.num_workers = num_workers
         self.tracer = tracer
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        if fault_plan is None:
+            fault_plan = getattr(tracer, "fault_plan", None)
+        self.fault_plan = fault_plan
         self._pool: Optional[ThreadPoolExecutor] = None
 
     @property
@@ -75,7 +123,12 @@ class ParallelExecutor:
         self.close()
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
-        """Apply ``fn`` to every item, preserving order."""
+        """Apply ``fn`` to every item, preserving order.
+
+        Transient failures (:class:`TransientWorkerError`) are retried
+        per task up to ``max_retries`` times; other exceptions propagate
+        immediately.
+        """
         items = list(items)
         tracer = self.tracer
         if tracer is None:
@@ -87,8 +140,28 @@ class ParallelExecutor:
             return self._map(fn, items)
 
     def _map(self, fn: Callable[[T], R], items: List[T]) -> List[R]:
+        run = self._run_task
         if not self.is_parallel or len(items) <= 1:
-            return [fn(item) for item in items]
+            return [run(fn, item) for item in items]
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self.num_workers)
-        return list(self._pool.map(fn, items))
+        return list(self._pool.map(lambda item: run(fn, item), items))
+
+    def _run_task(self, fn: Callable[[T], R], item: T) -> R:
+        """One task with fault injection and bounded transient retries."""
+        attempt = 0
+        while True:
+            try:
+                if self.fault_plan is not None:
+                    self.fault_plan.fire(TASK_SITE)
+                return fn(item)
+            except TransientWorkerError:
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise
+                tracer = self.tracer
+                if tracer is not None:
+                    tracer.add("parallel.retries")
+                backoff = self.retry_backoff * (2 ** (attempt - 1))
+                if backoff > 0:
+                    time.sleep(backoff)

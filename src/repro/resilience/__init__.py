@@ -1,0 +1,39 @@
+"""Robustness subsystem: checkpoints, resume, fault injection, budgets.
+
+See docs/resilience.md.  Three pieces:
+
+* **Checkpoint/resume** — :class:`CheckpointManager` writes
+  schema-versioned checkpoints at the router's natural barriers;
+  :func:`resume` continues a run from any of them, bit-identical to an
+  uninterrupted run (:func:`solution_fingerprint`-verified).
+* **Fault injection** — :class:`FaultPlan` + :class:`FaultInjectingTracer`
+  deterministically raise/delay/kill-worker at the Nth entry of a named
+  span or executor task; the executor retries
+  :class:`~repro.parallel.TransientWorkerError` with bounded backoff.
+* **Graceful degradation** — ``RouterConfig.wall_clock_budget_seconds``
+  makes the router exit early with the best-so-far legal solution,
+  flagged ``degraded`` on the result and run report.
+"""
+
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.faults import (
+    FaultInjectingTracer,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    WorkerKilled,
+)
+from repro.resilience.fingerprint import solution_fingerprint, solution_state
+from repro.resilience.runner import resume
+
+__all__ = [
+    "CheckpointManager",
+    "FaultInjectingTracer",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "WorkerKilled",
+    "resume",
+    "solution_fingerprint",
+    "solution_state",
+]

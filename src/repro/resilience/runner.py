@@ -1,0 +1,79 @@
+"""Resuming router runs from checkpoints (docs/resilience.md).
+
+:func:`resume` is the inverse of checkpointed routing: it rebuilds the
+case and config embedded in the checkpoint, hands the barrier payload
+back to :class:`repro.core.router.SynergisticRouter`, and continues the
+run to completion.  The continuation executes the same code the
+uninterrupted run would have — the router restores its loop state and
+falls through into the ordinary control flow — which is what makes the
+result bit-identical (fingerprint-equal) to never having stopped.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.config import RouterConfig
+from repro.core.router import RoutingResult, SynergisticRouter
+from repro.io.checkpoint_io import CheckpointFormatError, read_checkpoint
+from repro.io.json_format import case_from_dict
+from repro.obs import Tracer
+from repro.resilience.checkpoint import CheckpointManager
+
+
+def _resolve_checkpoint_path(checkpoint: Union[str, Path]) -> Path:
+    """A checkpoint file, or the latest checkpoint inside a directory."""
+    path = Path(checkpoint)
+    if path.is_dir():
+        candidates = sorted(path.glob("ckpt_*.json"))
+        if not candidates:
+            raise CheckpointFormatError(f"no checkpoints in {path}")
+        return candidates[-1]
+    return path
+
+
+def resume(
+    checkpoint: Union[str, Path],
+    *,
+    tracer: Optional[Tracer] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+) -> RoutingResult:
+    """Continue a router run from a checkpoint file (or directory).
+
+    Args:
+        checkpoint: a checkpoint file, or a checkpoint directory (its
+            most recent checkpoint is used).
+        tracer: optional tracer for the continued run.
+        checkpoint_dir: when given, the resumed run checkpoints its own
+            remaining barriers there (sequence numbers restart, so pick
+            a fresh directory to keep the original run's files).
+
+    Returns:
+        The completed :class:`~repro.core.router.RoutingResult`,
+        bit-identical to an uninterrupted run of the same case/config.
+    """
+    doc = read_checkpoint(_resolve_checkpoint_path(checkpoint))
+    system, netlist, delay_model = case_from_dict(doc["case"])
+    config = RouterConfig.from_dict(doc["config"])
+    manager = None
+    if checkpoint_dir is not None:
+        manager = CheckpointManager(
+            checkpoint_dir,
+            system,
+            netlist,
+            delay_model,
+            config=config,
+            rng_state=doc.get("rng_state"),
+        )
+    router = SynergisticRouter(
+        system,
+        netlist,
+        delay_model,
+        config=config,
+        tracer=tracer,
+        checkpoint=manager,
+    )
+    return router.route(
+        resume={"barrier": doc["barrier"], "payload": doc["payload"]}
+    )

@@ -1,0 +1,125 @@
+"""The public API surface is a contract: signatures are snapshotted.
+
+``repro.api`` (re-exported from ``repro``) is the stable import surface
+(docs/api.md).  These tests pin the facade's entry-point signatures and
+export list, so any accidental parameter rename/removal — an API break
+for downstream users — fails CI rather than shipping silently.
+Additions are fine: extend the snapshot in the same change.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro
+import repro.api as api
+
+#: name -> exact signature string.  Update deliberately, never casually:
+#: loosening/renaming anything here is a semver-major API break.
+SIGNATURES = {
+    "route": (
+        "(system: 'Any', netlist: 'Netlist', "
+        "delay_model: 'Optional[DelayModel]' = None, *, "
+        "config: 'Optional[RouterConfig]' = None, "
+        "tracer: 'Optional[Any]' = None, "
+        "checkpoint_dir: 'Optional[Union[str, Path]]' = None) "
+        "-> 'RoutingResult'"
+    ),
+    "resume": (
+        "(checkpoint: 'Union[str, Path]', *, "
+        "tracer: 'Optional[Tracer]' = None, "
+        "checkpoint_dir: 'Optional[Union[str, Path]]' = None) "
+        "-> 'RoutingResult'"
+    ),
+    "evaluate": (
+        "(system: 'Any', netlist: 'Netlist', solution: 'RoutingSolution', "
+        "delay_model: 'Optional[DelayModel]' = None) -> 'Evaluation'"
+    ),
+    "load_solution": (
+        "(path: 'Union[str, Path]', system: 'Any', netlist: 'Netlist', *, "
+        "format: 'str' = 'auto') -> 'RoutingSolution'"
+    ),
+}
+
+EXPORTS = [
+    "CheckpointManager",
+    "EcoRouter",
+    "Evaluation",
+    "FaultInjectingTracer",
+    "FaultPlan",
+    "FaultSpec",
+    "PortfolioRouter",
+    "RouterConfig",
+    "RoutingResult",
+    "SynergisticRouter",
+    "TdmAssigner",
+    "default_portfolio",
+    "evaluate",
+    "load_solution",
+    "resume",
+    "route",
+    "solution_fingerprint",
+    "solution_state",
+]
+
+
+class TestFacadeSignatures:
+    @pytest.mark.parametrize("name,expected", sorted(SIGNATURES.items()))
+    def test_signature_is_stable(self, name, expected):
+        actual = str(inspect.signature(getattr(api, name)))
+        assert actual == expected, (
+            f"repro.api.{name} signature changed:\n"
+            f"  was: {expected}\n  now: {actual}\n"
+            "If intentional, update tests/test_api_surface.py and docs/api.md."
+        )
+
+    def test_export_list_is_stable(self):
+        assert api.__all__ == EXPORTS
+
+    def test_every_export_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+
+class TestTopLevelReExports:
+    def test_facade_functions_are_the_same_objects(self):
+        for name in ("route", "resume", "evaluate", "load_solution"):
+            assert getattr(repro, name) is getattr(api, name)
+
+    def test_resilience_types_reachable_from_repro(self):
+        for name in (
+            "CheckpointManager",
+            "FaultInjectingTracer",
+            "FaultPlan",
+            "FaultSpec",
+            "solution_fingerprint",
+        ):
+            assert getattr(repro, name) is getattr(api, name)
+
+
+class TestRouterConfigContract:
+    def test_construction_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            repro.RouterConfig(0.5)  # noqa: the point is the positional arg
+
+    def test_dict_round_trip_is_exact(self):
+        config = repro.RouterConfig(
+            mu_shared=0.25, num_workers=4, wall_clock_budget_seconds=1.5
+        )
+        assert repro.RouterConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown RouterConfig fields"):
+            repro.RouterConfig.from_dict({"mu": 0.5})
+
+    def test_invalid_resilience_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            repro.RouterConfig(wall_clock_budget_seconds=-1.0)
+        with pytest.raises(ValueError):
+            repro.RouterConfig(worker_max_retries=-1)
+        with pytest.raises(ValueError):
+            repro.RouterConfig(worker_retry_backoff_seconds=-0.5)
+        with pytest.raises(ValueError):
+            repro.RouterConfig(incremental_rebuild_fraction=1.5)

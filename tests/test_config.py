@@ -1,6 +1,9 @@
 """Validation tests for RouterConfig and result dataclasses."""
 
+import json
+
 import pytest
+from hypothesis import given, strategies as st
 
 from repro import RouterConfig
 from repro.core.lagrangian import LrHistory, LrIteration
@@ -38,6 +41,79 @@ class TestRouterConfig:
 
     def test_infinite_ripup_allowed(self):
         assert RouterConfig(ripup_factor=float("inf")).ripup_factor == float("inf")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"incremental_rebuild_fraction": -0.1},
+            {"incremental_rebuild_fraction": 1.1},
+            {"wall_clock_budget_seconds": -1.0},
+            {"worker_max_retries": -1},
+            {"worker_retry_backoff_seconds": -0.01},
+        ],
+    )
+    def test_invalid_resilience_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RouterConfig(**kwargs)
+
+    def test_positional_construction_rejected(self):
+        with pytest.raises(TypeError):
+            RouterConfig(0.5)
+
+
+#: Every field drawn within its validated domain, so any drawn dict
+#: constructs; ``from_dict``/``to_dict`` must then round-trip exactly.
+config_mappings = st.fixed_dictionaries(
+    {},
+    optional={
+        "mu_shared": st.floats(min_value=0.01, max_value=1.0),
+        "max_reroute_iterations": st.integers(min_value=0, max_value=100),
+        "history_increment": st.floats(min_value=0.0, max_value=10.0),
+        "present_penalty": st.floats(min_value=0.0, max_value=10.0),
+        "weight_mode": st.sampled_from(["auto", "delay", "congestion"]),
+        "ripup_factor": st.floats(min_value=0.1, max_value=10.0)
+        | st.just(float("inf")),
+        "use_kernel": st.booleans(),
+        "batched_negotiation": st.booleans(),
+        "initial_batch_size": st.none() | st.integers(min_value=1, max_value=1000),
+        "steiner_fanout_threshold": st.none()
+        | st.integers(min_value=2, max_value=50),
+        "timing_reroute_rounds": st.integers(min_value=0, max_value=5),
+        "lr_max_iterations": st.integers(min_value=1, max_value=500),
+        "lr_epsilon": st.floats(min_value=1e-9, max_value=1.0),
+        "refine_margin_epsilon": st.floats(min_value=0.0, max_value=1.0),
+        "num_workers": st.integers(min_value=1, max_value=16),
+        "parallel_net_threshold": st.integers(min_value=0, max_value=10**6),
+        "incremental_rebuild_fraction": st.floats(min_value=0.0, max_value=1.0),
+        "wall_clock_budget_seconds": st.none()
+        | st.floats(min_value=0.0, max_value=3600.0),
+        "worker_max_retries": st.integers(min_value=0, max_value=5),
+        "worker_retry_backoff_seconds": st.floats(min_value=0.0, max_value=1.0),
+    },
+)
+
+
+class TestRouterConfigRoundTrip:
+    @given(config_mappings)
+    def test_dict_round_trip_is_exact(self, mapping):
+        config = RouterConfig.from_dict(mapping)
+        assert RouterConfig.from_dict(config.to_dict()) == config
+
+    @given(config_mappings)
+    def test_json_round_trip_is_exact(self, mapping):
+        config = RouterConfig.from_dict(mapping)
+        rehydrated = RouterConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert rehydrated == config
+
+    @given(config_mappings)
+    def test_partial_mappings_fill_defaults(self, mapping):
+        config = RouterConfig.from_dict(mapping)
+        for name, value in mapping.items():
+            assert getattr(config, name) == value
+
+    def test_unknown_keys_listed_in_error(self):
+        with pytest.raises(ValueError, match="banana, cherry"):
+            RouterConfig.from_dict({"banana": 1, "cherry": 2, "mu_shared": 0.5})
 
 
 class TestPhaseTimes:

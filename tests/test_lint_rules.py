@@ -128,6 +128,18 @@ MATRIX = [
         "import os\nmode = os.getenv('MODE')\n",
         "mode = 'exact'\n",
     ),
+    (
+        "REPRO011",
+        "repro.cli.main",
+        "from repro.core.router import SynergisticRouter\n",
+        "from repro.api import SynergisticRouter\n",
+    ),
+    (
+        "REPRO011",
+        "repro.cli.evaluate",
+        "import repro.core.config\n",
+        "from repro import RouterConfig\n",
+    ),
 ]
 
 MATRIX_IDS = [f"{rule_id}-{module.rsplit('.', 1)[-1]}" for rule_id, module, _, _ in MATRIX]
