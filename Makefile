@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint chaos bench bench-fast perf examples suite trace clean
+.PHONY: install test lint chaos bench bench-fast perf profile examples suite trace clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -34,12 +34,27 @@ examples:
 	@echo "all examples ran cleanly"
 
 # Performance gate: runtime budgets plus the phase I kernel and phase II
-# pipeline speedup benchmarks (docs/performance.md).  Emits
-# BENCH_kernel.json and BENCH_phase2.json.
+# pipeline speedup benchmarks (docs/performance.md).  Fresh trajectories
+# land in bench_out/ and the perf-regression sentinel compares them
+# against the committed baselines (docs/observability.md) — the gate
+# fails on a statistically meaningful slowdown, not on machine noise.
 perf:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_performance_guards.py -q
+	REPRO_BENCH_OUT=bench_out REPRO_BENCH_BASELINE=. \
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_kernel.py --benchmark-only -q
+	REPRO_BENCH_OUT=bench_out REPRO_BENCH_BASELINE=. \
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_phase2.py --benchmark-only -q
+	PYTHONPATH=src $(PYTHON) -m repro.cli.perf_cli BENCH_phase2.json \
+		bench_out/BENCH_phase2.json --output bench_out/PERF_SENTINEL_phase2.json
+
+# Profile a full case05 run: trace it, print the self-time attribution
+# table and critical path, and export a Chrome flamegraph
+# (chrome://tracing) from the same trace (docs/observability.md).
+profile:
+	PYTHONPATH=src $(PYTHON) -m repro.cli.main --contest-case 5 \
+		--trace-out trace.jsonl --metrics-out run_report.json --quiet
+	PYTHONPATH=src $(PYTHON) -m repro.cli.trace_cli trace.jsonl \
+		--critical-path --export chrome --out trace_chrome.json
 
 # Table III sweep only.
 table3:
@@ -59,6 +74,8 @@ trace:
 	print(f'run report schema OK; {len(events)} trace events')"
 
 clean:
-	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info
-	rm -f trace.jsonl run_report.json BENCH_*.json lint_findings.json
+	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info bench_out
+	rm -f trace.jsonl run_report.json lint_findings.json
+	rm -f trace_chrome.json PERF_SENTINEL.json
+	find . -maxdepth 1 -name 'BENCH_*.json' ! -name BENCH_phase2.json -delete
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -9,6 +9,12 @@ Environment knobs:
 * ``REPRO_BENCH_ROUTERS`` — comma-separated router subset for Table III.
 * ``REPRO_BENCH_OUT`` — directory receiving the machine-readable
   ``BENCH_<name>.json`` result files (default: current directory).
+* ``REPRO_BENCH_BASELINE`` — directory holding committed baseline
+  ``BENCH_<name>.json`` files (e.g. the repo root).  When set, every
+  freshly written trajectory is checked by the perf-regression sentinel
+  (:mod:`repro.obs.sentinel`) against its same-named baseline; findings
+  are printed in the terminal summary and written to
+  ``PERF_SENTINEL.json`` next to the results.
 
 Each benchmark registers a human-readable result table that is printed in
 the terminal summary, so ``pytest benchmarks/ --benchmark-only`` emits the
@@ -87,9 +93,58 @@ def write_bench_results(
     return written
 
 
+def run_perf_sentinel(baseline_dir: Path, written: List[Path]) -> Optional[Path]:
+    """Sentinel-check freshly written trajectories against baselines.
+
+    For every written ``BENCH_<name>.json`` with a same-named file under
+    ``baseline_dir``, runs :func:`repro.obs.sentinel.check_regressions`
+    and registers the outcome as a terminal-summary report block.  The
+    combined JSON document lands in ``PERF_SENTINEL.json`` next to the
+    fresh results.
+
+    Returns:
+        The path of the sentinel document, or ``None`` when no written
+        file had a matching baseline.
+    """
+    from repro.obs.sentinel import check_regressions
+
+    baseline_dir = Path(baseline_dir)
+    documents: Dict[str, Any] = {}
+    lines: List[str] = []
+    for path in written:
+        baseline = baseline_dir / path.name
+        if not baseline.is_file():
+            continue
+        report = check_regressions(baseline, path)
+        documents[path.name] = report.to_dict()
+        status = "OK" if report.ok else "FAIL"
+        lines.append(
+            f"{path.name}: {status} ({report.compared} compared, "
+            f"{report.skipped} skipped)"
+        )
+        for finding in report.regressions:
+            lines.append(f"  REGRESSION  {finding.describe()}")
+        for finding in report.improvements:
+            lines.append(f"  improved    {finding.describe()}")
+    if not documents:
+        return None
+    register_report("perf sentinel", lines)
+    out = written[0].parent / "PERF_SENTINEL.json"
+    out.write_text(
+        json.dumps(
+            {"kind": "repro.perf_sentinel.session", "benches": documents},
+            indent=1,
+        )
+    )
+    return out
+
+
 def pytest_sessionfinish(session, exitstatus):
     out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
-    write_bench_results(out_dir)
+    written = write_bench_results(out_dir)
+    baseline = os.environ.get("REPRO_BENCH_BASELINE", "")
+    if baseline.strip() and written:
+        run_perf_sentinel(Path(baseline), written)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

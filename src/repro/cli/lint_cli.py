@@ -26,7 +26,7 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based invariant linter for the repro codebase: "
             "determinism, observability discipline and configuration "
-            "hygiene rules (REPRO001..REPRO010)."
+            "hygiene rules (REPRO001..REPRO012)."
         ),
     )
     parser.add_argument(

@@ -143,52 +143,61 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         sink = JsonlSink(args.trace_out) if args.trace_out else None
         tracer = Tracer(sink)
-    if args.case_file:
-        system, netlist, delay_model = parse_case_file(args.case_file)
-    else:
-        case = load_case(args.contest_case, scale=args.scale)
-        system, netlist = case.system, case.netlist
-        delay_model = DelayModel()
+    # Close the sink however the run ends: a crashed route still leaves
+    # whatever was traced before the failure durable on disk.
+    try:
+        if args.case_file:
+            system, netlist, delay_model = parse_case_file(args.case_file)
+        else:
+            case = load_case(args.contest_case, scale=args.scale)
+            system, netlist = case.system, case.netlist
+            delay_model = DelayModel()
 
-    if args.precheck:
-        from repro.analysis import check_feasibility
+        if args.precheck:
+            from repro.analysis import check_feasibility
 
-        feasibility = check_feasibility(system, netlist)
-        for line in feasibility.warnings:
-            print(f"warning: {line}")
-        if feasibility.is_provably_infeasible:
-            for line in feasibility.infeasible:
-                print(f"INFEASIBLE: {line}")
-            return 2
+            feasibility = check_feasibility(system, netlist)
+            for line in feasibility.warnings:
+                print(f"warning: {line}")
+            if feasibility.is_provably_infeasible:
+                for line in feasibility.infeasible:
+                    print(f"INFEASIBLE: {line}")
+                return 2
 
-    baseline_cls = _resolve_router(args.router)
-    if args.router == "portfolio":
-        from repro.api import PortfolioRouter, default_portfolio
+        baseline_cls = _resolve_router(args.router)
+        if args.router == "portfolio":
+            from repro.api import PortfolioRouter, default_portfolio
 
-        config = RouterConfig(num_workers=args.workers)
-        outcome = PortfolioRouter(
-            system, netlist, delay_model, default_portfolio(config)
-        ).route()
-        result = outcome.best
-        if not args.quiet:
-            for row in outcome.table():
-                print(f"  {row}")
-    elif baseline_cls is None:
-        config = RouterConfig(num_workers=args.workers)
-        checkpoint = None
-        if args.checkpoint_dir:
-            from repro.api import CheckpointManager
+            config = RouterConfig(num_workers=args.workers)
+            outcome = PortfolioRouter(
+                system, netlist, delay_model, default_portfolio(config)
+            ).route()
+            result = outcome.best
+            if not args.quiet:
+                for row in outcome.table():
+                    print(f"  {row}")
+        elif baseline_cls is None:
+            config = RouterConfig(num_workers=args.workers)
+            checkpoint = None
+            if args.checkpoint_dir:
+                from repro.api import CheckpointManager
 
-            checkpoint = CheckpointManager(
-                args.checkpoint_dir, system, netlist, delay_model, config=config
-            )
-        result = SynergisticRouter(
-            system, netlist, delay_model, config, tracer=tracer, checkpoint=checkpoint
-        ).route()
-    else:
-        result = baseline_cls(system, netlist, delay_model).route()
-    if sink is not None:
-        sink.close()
+                checkpoint = CheckpointManager(
+                    args.checkpoint_dir, system, netlist, delay_model, config=config
+                )
+            result = SynergisticRouter(
+                system,
+                netlist,
+                delay_model,
+                config,
+                tracer=tracer,
+                checkpoint=checkpoint,
+            ).route()
+        else:
+            result = baseline_cls(system, netlist, delay_model).route()
+    finally:
+        if sink is not None:
+            sink.close()
 
     if not args.quiet:
         print(f"router             : {args.router}")

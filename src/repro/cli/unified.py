@@ -8,6 +8,8 @@ One executable, one subcommand per task::
     repro partition design.hgr --parts 4
     repro lint src/
     repro resume runs/ckpt_0003_phase2-lr.json
+    repro trace trace.jsonl --critical-path --export chrome
+    repro perf BENCH_phase2.json bench_out/BENCH_phase2.json
 
 Each subcommand delegates to the matching single-purpose module in
 :mod:`repro.cli`; the historical per-task console scripts
@@ -30,6 +32,8 @@ _SUBCOMMANDS: Dict[str, str] = {
     "partition": "repro.cli.partition_cli",
     "lint": "repro.cli.lint_cli",
     "resume": "repro.cli.resume_cli",
+    "trace": "repro.cli.trace_cli",
+    "perf": "repro.cli.perf_cli",
 }
 
 _DESCRIPTIONS: Dict[str, str] = {
@@ -39,6 +43,8 @@ _DESCRIPTIONS: Dict[str, str] = {
     "partition": "partition a hypergraph across dies",
     "lint": "run the AST invariant linter",
     "resume": "continue a checkpointed routing run",
+    "trace": "attribute/summarize/export a JSONL trace",
+    "perf": "check fresh timings against a committed baseline",
 }
 
 

@@ -513,6 +513,62 @@ class DeepCoreImportRule(Rule):
                     yield ctx.finding(self, node, f"import {alias.name}")
 
 
+@register
+class SpanEventNameLiteralRule(Rule):
+    """REPRO012: span/event names in the routing layers are static strings.
+
+    Companion to REPRO008, for the trace schema rather than the metric
+    registry: the span-tree profiler (:mod:`repro.obs.profile`) matches
+    parents by *name*, the run-report differ keys timers by name, and
+    ``docs/observability.md`` enumerates the span vocabulary.  REPRO008
+    only inspects receivers that look like a tracer; in the core layers
+    a renamed handle (``t.span(...)``, ``obs.event(...)``) must obey the
+    same discipline, so here every ``.span(...)``/``.event(...)`` call
+    is held to a static first argument.
+    """
+
+    rule_id = "REPRO012"
+    title = "span/event names are static strings in core layers"
+    rationale = (
+        "the trace profiler reconstructs span trees by name and the docs "
+        "enumerate the span vocabulary; runtime-built names break both"
+    )
+    remedy = (
+        "use a string literal or module-level constant for the span/event "
+        "name (attach variability as span attributes instead)"
+    )
+    node_types = (ast.Call,)
+    include = _DETERMINISTIC_SCOPES
+
+    _EMITTERS = frozenset({"span", "event"})
+
+    def _is_static(self, node: ast.AST, ctx: FileContext) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return True
+        if isinstance(node, ast.Name) and node.id in ctx.module_constants:
+            return True
+        if isinstance(node, ast.IfExp):
+            return self._is_static(node.body, ctx) and self._is_static(
+                node.orelse, ctx
+            )
+        return False
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ``.span(...)``/``.event(...)`` calls with a dynamic name."""
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in self._EMITTERS:
+            return
+        if not node.args:
+            return
+        if not self._is_static(node.args[0], ctx):
+            receiver = dotted_name(func.value) or "<expr>"
+            yield ctx.finding(
+                self,
+                node.args[0],
+                f"dynamic span/event name passed to {receiver}.{func.attr}()",
+            )
+
+
 #: Scope tuples re-exported for the docs generator and tests.
 DETERMINISTIC_SCOPES: Tuple[str, ...] = _DETERMINISTIC_SCOPES
 TERMINAL_SCOPES: Tuple[str, ...] = _TERMINAL_SCOPES

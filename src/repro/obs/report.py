@@ -20,7 +20,10 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 #: Bump when the report layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2: telemetry histograms became quantile digests (count/sum/min/max/
+#: p50/p90/p99 objects instead of raw observation lists) and the
+#: telemetry section gained derived cache hit ``rates``.
+SCHEMA_VERSION = 2
 
 #: The ``kind`` discriminator of every run report document.
 REPORT_KIND = "repro.run_report"
@@ -134,9 +137,18 @@ def validate_run_report(doc: Any) -> List[str]:
         if not isinstance(telemetry, dict):
             problems.append("telemetry must be an object or null")
         else:
-            for section in ("counters", "gauges", "timers", "histograms"):
+            for section in ("counters", "gauges", "timers", "histograms", "rates"):
                 if not isinstance(telemetry.get(section), dict):
                     problems.append(f"telemetry.{section} must be an object")
+            histograms = telemetry.get("histograms")
+            if isinstance(histograms, dict):
+                for name, digest in histograms.items():
+                    if not isinstance(digest, dict) or "count" not in digest:
+                        problems.append(
+                            f"telemetry.histograms[{name!r}] must be a "
+                            "quantile digest object with a count field"
+                        )
+                        break
     return problems
 
 
@@ -205,4 +217,10 @@ def _wire_section(stats: Any) -> Optional[Dict[str, Any]]:
 def _telemetry_section(snapshot: Any) -> Optional[Dict[str, Any]]:
     if snapshot is None:
         return None
-    return snapshot.to_dict()
+    section = snapshot.to_dict()
+    # Benchmarks and the serving layer want rates, not raw hit/miss
+    # pairs; derive them once here so every consumer gets them for free.
+    from repro.obs.profile import derive_rates
+
+    section["rates"] = derive_rates(section.get("counters", {}))
+    return section

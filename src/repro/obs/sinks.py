@@ -99,6 +99,12 @@ class JsonlSink:
             self._file.write(line)
             self._file.write("\n")
 
+    def flush(self) -> None:
+        """Push buffered lines to disk without closing (idempotent)."""
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+
     def close(self) -> None:
         """Flush and close the underlying file (idempotent)."""
         with self._lock:
@@ -109,6 +115,8 @@ class JsonlSink:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        # Runs on exceptions too: whatever was traced before the failure
+        # is flushed and durable, so a crashed run leaves a usable trace.
         self.close()
 
 

@@ -8,6 +8,9 @@ plays two roles at once:
   recorded, whatever the sink: they are cheap (they are only touched at
   phase/round granularity, never per node pop) and they feed the run
   report (:mod:`repro.obs.report`) even when no trace file is requested.
+  Histograms are streaming quantile sketches by default
+  (:mod:`repro.obs.quantiles` — O(sketch) memory however long the run);
+  ``histogram_mode="exact"`` retains raw observations for tests.
 * an **event emitter** — per-iteration events (PathFinder rounds, LR
   iterations) and span records streamed to a :class:`~repro.obs.sinks
   .TraceSink`.  Emission is gated on :attr:`Tracer.enabled`; with the
@@ -39,6 +42,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.obs.quantiles import (
+    DEFAULT_RELATIVE_ERROR,
+    HISTOGRAM_MODES,
+    HistogramSummary,
+    QuantileAccumulator,
+    quantile_accumulator,
+)
 from repro.obs.sinks import NullSink, TraceSink
 
 
@@ -53,7 +63,9 @@ class TelemetrySnapshot:
         counters: monotonically increasing named counts.
         gauges: last-written named values.
         timers: total seconds accumulated per span name.
-        histograms: raw observations per histogram name.
+        histograms: per-histogram :class:`~repro.obs.quantiles
+            .HistogramSummary` digests (count/sum/min/max/p50/p90/p99) —
+            bounded-size regardless of observation count.
         num_spans: spans closed over the tracer's lifetime.
         num_events: events emitted to the sink (0 with a null sink).
     """
@@ -61,7 +73,7 @@ class TelemetrySnapshot:
     counters: Dict[str, int] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
     timers: Dict[str, float] = field(default_factory=dict)
-    histograms: Dict[str, List[float]] = field(default_factory=dict)
+    histograms: Dict[str, HistogramSummary] = field(default_factory=dict)
     num_spans: int = 0
     num_events: int = 0
 
@@ -71,7 +83,7 @@ class TelemetrySnapshot:
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "timers": dict(self.timers),
-            "histograms": {k: list(v) for k, v in self.histograms.items()},
+            "histograms": {k: v.to_dict() for k, v in self.histograms.items()},
             "num_spans": self.num_spans,
             "num_events": self.num_events,
         }
@@ -107,6 +119,11 @@ class Span:
         stack = self.tracer._stack
         if stack and stack[-1] == self.name:
             stack.pop()
+        if exc_type is not None:
+            # A span abandoned by an exception is still a span: record it
+            # with the flag so traces show where the run died.
+            self.attrs = dict(self.attrs)
+            self.attrs["error"] = True
         self.tracer._record_span(self)
 
 
@@ -118,20 +135,37 @@ class Tracer:
             :class:`~repro.obs.sinks.NullSink` and leaves
             :attr:`enabled` False so hot call sites skip event
             construction after a single attribute check.
+        histogram_mode: ``"sketch"`` (default) keeps each histogram as a
+            bounded-memory :class:`~repro.obs.quantiles.QuantileSketch`;
+            ``"exact"`` retains every raw observation (tests, oracles).
+        histogram_relative_error: sketch-mode error bound ``alpha`` —
+            reported quantiles are within ``alpha * |true quantile|``.
     """
 
     _NULL = NullSink()
 
-    def __init__(self, sink: Optional[TraceSink] = None) -> None:
+    def __init__(
+        self,
+        sink: Optional[TraceSink] = None,
+        histogram_mode: str = "sketch",
+        histogram_relative_error: float = DEFAULT_RELATIVE_ERROR,
+    ) -> None:
+        if histogram_mode not in HISTOGRAM_MODES:
+            raise ValueError(
+                f"unknown histogram_mode {histogram_mode!r}; "
+                f"expected one of {HISTOGRAM_MODES}"
+            )
         self.sink: TraceSink = sink if sink is not None else self._NULL
         #: One attribute check is all a disabled call site pays.
         self.enabled: bool = not isinstance(self.sink, NullSink)
+        self.histogram_mode = histogram_mode
+        self.histogram_relative_error = histogram_relative_error
         self.epoch = time.perf_counter()
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
         self._timers: Dict[str, float] = {}
-        self._histograms: Dict[str, List[float]] = {}
+        self._histograms: Dict[str, QuantileAccumulator] = {}
         self._stack: List[str] = []
         self._num_spans = 0
         self._num_events = 0
@@ -195,9 +229,19 @@ class Tracer:
             )
 
     def observe(self, name: str, value: float) -> None:
-        """Record one observation into a named histogram."""
+        """Record one observation into a named histogram.
+
+        Sketch mode (the default) folds the value into a bounded-memory
+        quantile sketch; exact mode retains it raw.
+        """
         with self._lock:
-            self._histograms.setdefault(name, []).append(value)
+            accumulator = self._histograms.get(name)
+            if accumulator is None:
+                accumulator = quantile_accumulator(
+                    self.histogram_mode, self.histogram_relative_error
+                )
+                self._histograms[name] = accumulator
+            accumulator.observe(value)
         if self.enabled:
             self._emit(
                 {
@@ -248,8 +292,42 @@ class Tracer:
         return self._gauges.get(name, default)
 
     def histogram(self, name: str) -> List[float]:
-        """All observations recorded under a histogram name."""
-        return list(self._histograms.get(name, ()))
+        """All raw observations of a histogram (exact mode only).
+
+        Raises:
+            ValueError: in sketch mode — raw observations are not
+                retained; use :meth:`histogram_summary` or
+                :meth:`quantile` instead.
+        """
+        accumulator = self._histograms.get(name)
+        if accumulator is None:
+            return []
+        if self.histogram_mode != "exact":
+            raise ValueError(
+                "raw observations are only retained in exact histogram "
+                "mode; use histogram_summary()/quantile() or construct "
+                'Tracer(histogram_mode="exact")'
+            )
+        return accumulator.values
+
+    def histogram_summary(self, name: str) -> Optional[HistogramSummary]:
+        """Digest (count/sum/min/max/p50/p90/p99) of a histogram.
+
+        Returns ``None`` when the name was never observed.
+        """
+        with self._lock:
+            accumulator = self._histograms.get(name)
+            return accumulator.summary() if accumulator is not None else None
+
+    def quantile(self, name: str, q: float) -> float:
+        """Quantile ``q`` of a histogram (sketch estimate or exact).
+
+        Raises:
+            KeyError: when the name was never observed.
+            ValueError: when ``q`` is outside [0, 1].
+        """
+        with self._lock:
+            return self._histograms[name].quantile(q)
 
     def snapshot(self) -> TelemetrySnapshot:
         """Consistent copy of every aggregate metric."""
@@ -258,7 +336,9 @@ class Tracer:
                 counters=dict(self._counters),
                 gauges=dict(self._gauges),
                 timers=dict(self._timers),
-                histograms={k: list(v) for k, v in self._histograms.items()},
+                histograms={
+                    k: v.summary() for k, v in self._histograms.items()
+                },
                 num_spans=self._num_spans,
                 num_events=self._num_events,
             )

@@ -140,6 +140,21 @@ MATRIX = [
         "import repro.core.config\n",
         "from repro import RouterConfig\n",
     ),
+    (
+        # Renamed tracer handle: REPRO008 only inspects *tracer-named*
+        # receivers, REPRO012 holds any .span() in core to a static name.
+        "REPRO012",
+        "repro.core.router",
+        "def f(t, phase):\n    with t.span(f'phase.{phase}'):\n        pass\n",
+        "PHASE = 'phase.initial_routing'\n"
+        "def f(t):\n    with t.span(PHASE):\n        pass\n",
+    ),
+    (
+        "REPRO012",
+        "repro.route.graph",
+        "def f(t, i):\n    t.event('round.' + str(i))\n",
+        "def f(t, i):\n    t.event('round', iteration=i)\n",
+    ),
 ]
 
 MATRIX_IDS = [f"{rule_id}-{module.rsplit('.', 1)[-1]}" for rule_id, module, _, _ in MATRIX]

@@ -82,11 +82,40 @@ class TestCountersGaugesHistograms:
         tracer.gauge("overflow", 3.0)
         assert tracer.gauge_value("overflow") == 3.0
 
-    def test_histogram_keeps_observations(self):
-        tracer = Tracer()
+    def test_exact_mode_histogram_keeps_observations(self):
+        tracer = Tracer(histogram_mode="exact")
         for value in (0.5, 1.5, 0.25):
             tracer.observe("margin", value)
         assert tracer.histogram("margin") == [0.5, 1.5, 0.25]
+        assert tracer.quantile("margin", 1.0) == 1.5
+
+    def test_sketch_mode_is_default_and_bounds_memory(self):
+        tracer = Tracer()
+        assert tracer.histogram_mode == "sketch"
+        for i in range(10_000):
+            tracer.observe("margin", 1.0 + (i % 100) / 100.0)
+        summary = tracer.histogram_summary("margin")
+        assert summary.count == 10_000
+        # Memory is buckets, not observations.
+        assert tracer._histograms["margin"].num_buckets < 200
+        assert summary.p50 == pytest.approx(1.5, rel=0.02)
+        assert summary.maximum == 1.99
+        # Raw values are gone in sketch mode; the accessor says so.
+        with pytest.raises(ValueError):
+            tracer.histogram("margin")
+        assert tracer.histogram("never.observed") == []
+
+    def test_abandoned_span_is_recorded_with_error_flag(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        spans = sink.of_type("span")
+        assert [s["name"] for s in spans] == ["doomed"]
+        assert spans[0]["error"] is True
+        # The timer still accumulated the partial duration.
+        assert tracer.timer("doomed") >= 0.0
 
     def test_snapshot_is_a_copy(self):
         tracer = Tracer()
@@ -162,6 +191,32 @@ class TestJsonlSink:
         sink.close()
         assert (tmp_path / "deep" / "dir" / "t.jsonl").exists()
 
+    def test_flush_makes_events_durable_without_closing(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"type": "event", "name": "x"})
+        sink.flush()
+        assert len(read_jsonl(path)) == 1
+        sink.emit({"type": "event", "name": "y"})  # still writable
+        sink.close()
+        sink.flush()  # no-op after close
+        assert len(read_jsonl(path)) == 2
+
+    def test_context_manager_closes_on_exception(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with pytest.raises(RuntimeError):
+            with JsonlSink(path) as sink:
+                tracer = Tracer(sink)
+                with pytest.raises(RuntimeError):
+                    with tracer.span("dies"):
+                        raise RuntimeError("boom")
+                raise RuntimeError("outer")
+        # The crashed run still left a durable, parseable trace with the
+        # abandoned span flagged.
+        events = read_jsonl(path)
+        assert events and events[0]["name"] == "dies"
+        assert events[0]["error"] is True
+
 
 class TestRouterTelemetry:
     @pytest.fixture()
@@ -215,11 +270,13 @@ class TestRouterTelemetry:
         result, _, _ = traced_run
         histograms = result.telemetry.histograms
         for direction in (0, 1):
-            values = histograms.get(
-                f"wire_assignment.utilization.dir{direction}", []
-            )
-            assert all(0.0 < v <= 1.0 for v in values)
-        assert all(m >= -1e-9 for m in histograms["legalization.margin"])
+            summary = histograms.get(f"wire_assignment.utilization.dir{direction}")
+            if summary is not None and summary.count:
+                assert 0.0 < summary.minimum <= summary.maximum <= 1.0
+                assert summary.minimum <= summary.p50 <= summary.p99
+        margin = histograms["legalization.margin"]
+        assert margin.minimum >= -1e-9
+        assert margin.count > 0
 
     def test_repeated_route_on_one_tracer_isolates_phase_times(
         self, two_fpga_system, small_netlist
@@ -243,8 +300,22 @@ class TestRunReport:
         assert validate_run_report(doc) == []
         loaded = json.loads(path.read_text())
         assert validate_run_report(loaded) == []
-        assert loaded["schema_version"] == 1
+        assert loaded["schema_version"] == 2
         assert loaded["case"]["name"] == "unit"
+        telemetry = loaded["telemetry"]
+        assert isinstance(telemetry["rates"], dict)
+        for digest in telemetry["histograms"].values():
+            assert {"count", "p50", "p90", "p99", "max"} <= set(digest)
+
+    def test_report_surfaces_cache_rates(self, traced_result_report):
+        doc = build_run_report(traced_result_report)
+        rates = doc["telemetry"]["rates"]
+        counters = doc["telemetry"]["counters"]
+        if counters.get("incidence.incremental_builds", 0) or counters.get(
+            "incidence.cold_builds", 0
+        ):
+            assert "incidence.incremental_build_rate" in rates
+        assert all(0.0 <= value <= 1.0 for value in rates.values())
 
     @pytest.fixture()
     def traced_result_report(self, two_fpga_system, small_netlist):

@@ -2,10 +2,14 @@
 
 Budgets are 5-10x the observed times on a 1-core container, so these only
 trip on genuine complexity regressions (an accidental O(n^2) in a hot
-loop), never on machine noise.
+loop), never on machine noise.  The sentinel guards additionally hold the
+committed ``BENCH_*.json`` trajectories to the perf-regression sentinel's
+contract (``make perf`` runs the same comparison on fresh timings).
 """
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
@@ -91,3 +95,44 @@ class TestRoutingBudgets:
         # ~4ms observed; a cold rebuild is ~15ms, a regression to
         # per-connection scans would be far slower.
         assert elapsed < 0.5, f"incremental rebuild took {elapsed:.2f}s"
+
+
+class TestPerfSentinelGuards:
+    """The committed trajectories and the sentinel wiring stay honest."""
+
+    BASELINE = Path(__file__).parent.parent / "BENCH_phase2.json"
+
+    def test_committed_baseline_passes_its_own_sentinel(self):
+        from repro.obs.sentinel import check_regressions
+
+        report = check_regressions(self.BASELINE, self.BASELINE)
+        assert report.ok and report.compared > 0
+
+    def test_sentinel_catches_synthetic_slowdown(self, tmp_path):
+        from repro.obs.sentinel import check_regressions
+
+        doc = json.loads(self.BASELINE.read_text())
+        for row in doc["results"]:
+            for key in list(row):
+                if key.startswith("wall_time") and key.endswith("_s"):
+                    row[key] = row[key] * 3.0
+        slow = tmp_path / "BENCH_phase2.json"
+        slow.write_text(json.dumps(doc))
+        report = check_regressions(self.BASELINE, slow)
+        assert not report.ok
+        assert any(f.ratio == pytest.approx(3.0) for f in report.regressions)
+
+    def test_bench_conftest_sentinel_hook(self, tmp_path):
+        from benchmarks.conftest import run_perf_sentinel
+
+        fresh = tmp_path / "out" / "BENCH_phase2.json"
+        fresh.parent.mkdir()
+        fresh.write_text(self.BASELINE.read_text())
+        sentinel_path = run_perf_sentinel(self.BASELINE.parent, [fresh])
+        assert sentinel_path is not None
+        doc = json.loads(sentinel_path.read_text())
+        assert doc["benches"]["BENCH_phase2.json"]["ok"] is True
+        # No matching baseline -> no sentinel document.
+        lonely = tmp_path / "out" / "BENCH_unknown.json"
+        lonely.write_text("{}")
+        assert run_perf_sentinel(self.BASELINE.parent, [lonely]) is None
