@@ -26,7 +26,12 @@ from typing import Any, Dict, List, Optional, Union
 from repro.core.config import RouterConfig
 from repro.core.eco import EcoRouter
 from repro.core.portfolio import PortfolioRouter, default_portfolio
-from repro.core.router import RoutingResult, SynergisticRouter, TdmAssigner
+from repro.core.router import (
+    RoutingResult,
+    SynergisticRouter,
+    TdmAssigner,
+    parallel_run_info,
+)
 from repro.drc import DesignRuleChecker
 from repro.netlist import Netlist
 from repro.route import RoutingSolution
@@ -56,6 +61,7 @@ __all__ = [
     "default_portfolio",
     "evaluate",
     "load_solution",
+    "parallel_run_info",
     "resume",
     "route",
     "solution_fingerprint",

@@ -54,7 +54,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="threads for phase II (paper uses 10 above 200k nets)",
+        help="workers for the parallel stages (paper uses 10 above 200k "
+        "nets); the REPRO_WORKERS env var applies only when the config "
+        "leaves the count unset",
+    )
+    parser.add_argument(
+        "--parallel-backend",
+        choices=["thread", "process"],
+        default="thread",
+        help="worker pool backend; 'process' routes phase I over spatial "
+        "shards in spawned workers (see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="spatial shards for the sharded first pass (default: one per "
+        "worker, capped at the FPGA count)",
+    )
+    parser.add_argument(
+        "--completion-order-merge",
+        action="store_true",
+        help="merge shard results in completion order instead of the "
+        "deterministic fixed shard order (faster, unstable fingerprints)",
     )
     parser.add_argument(
         "--drc", action="store_true", help="run the design-rule checker afterwards"
@@ -165,10 +187,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 2
 
         baseline_cls = _resolve_router(args.router)
+        parallel_knobs = dict(
+            num_workers=args.workers,
+            parallel_backend=args.parallel_backend,
+            num_shards=args.shards,
+            deterministic_merge=not args.completion_order_merge,
+        )
         if args.router == "portfolio":
             from repro.api import PortfolioRouter, default_portfolio
 
-            config = RouterConfig(num_workers=args.workers)
+            config = RouterConfig(**parallel_knobs)
             outcome = PortfolioRouter(
                 system, netlist, delay_model, default_portfolio(config)
             ).route()
@@ -177,7 +205,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 for row in outcome.table():
                     print(f"  {row}")
         elif baseline_cls is None:
-            config = RouterConfig(num_workers=args.workers)
+            config = RouterConfig(**parallel_knobs)
             checkpoint = None
             if args.checkpoint_dir:
                 from repro.api import CheckpointManager

@@ -3,7 +3,6 @@ phase II assigner used to refine foreign topologies (Fig. 5(a))."""
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -18,7 +17,7 @@ from repro.core.wire_assignment import WireAssigner, WireAssignmentStats
 from repro.arch.system import MultiFpgaSystem
 from repro.netlist.netlist import Netlist
 from repro.obs import TelemetrySnapshot, Tracer, get_logger
-from repro.parallel import ParallelExecutor
+from repro.parallel import ParallelExecutor, resolve_workers
 from repro.route.solution import RoutingSolution
 from repro.timing.analysis import TimingAnalyzer, TimingReport
 from repro.timing.delay import DelayModel
@@ -34,6 +33,26 @@ PHASE_LGWA = "phase.legalization_wire_assignment"
 #: Not part of the Fig. 5(b) phase accounting, but without it the trace
 #: profiler would attribute analysis time to ``(untracked)``.
 SPAN_TIMING = "timing.analysis"
+
+
+def parallel_run_info(config: RouterConfig) -> Dict[str, Any]:
+    """How a run's worker pools will be sized under ``config``.
+
+    The resolved count is what :class:`~repro.parallel.ParallelExecutor`
+    would use (an explicit ``num_workers`` verbatim; ``None`` via the
+    ``REPRO_WORKERS`` env var, else the paper default) — recorded in run
+    reports and bench rows so perf comparisons can see the actual
+    parallelism, not just the request.
+    """
+    workers, from_env = resolve_workers(config.num_workers)
+    return {
+        "backend": config.parallel_backend,
+        "requested_workers": config.num_workers,
+        "resolved_workers": workers,
+        "workers_from_env": from_env,
+        "num_shards": config.num_shards,
+        "deterministic_merge": config.deterministic_merge,
+    }
 
 
 @dataclass
@@ -117,6 +136,11 @@ class RoutingResult:
             (``RouterConfig.wall_clock_budget_seconds``) cut the run
             short; the solution is the best-so-far legal state and the
             run report carries the same flag (docs/resilience.md).
+        parallel_info: how the run's worker pools were sized — backend,
+            requested vs resolved worker count, whether ``REPRO_WORKERS``
+            supplied it, shard/merge settings.  Recorded in run reports
+            and ``BENCH_*.json`` so perf-sentinel comparisons are
+            apples-to-apples (docs/performance.md).
     """
 
     solution: RoutingSolution
@@ -130,6 +154,7 @@ class RoutingResult:
     timing_reroute_moves: int = 0
     telemetry: Optional[TelemetrySnapshot] = None
     degraded: bool = False
+    parallel_info: Optional[Dict[str, Any]] = None
 
     @property
     def is_legal(self) -> bool:
@@ -160,12 +185,14 @@ class TdmAssigner:
 
     def _executor(self) -> ParallelExecutor:
         workers = self.config.num_workers
-        if workers is None:
-            # The paper's rule: 10 threads above 200k nets, 1 below.
-            if self.netlist.num_nets > self.config.parallel_net_threshold:
-                workers = min(10, os.cpu_count() or 1)
-            else:
-                workers = 1
+        # The paper's rule: auto-size only above 200k nets, 1 below.
+        # ``None`` is forwarded so the executor resolves it (REPRO_WORKERS
+        # env override, else the paper's min(10, cpu_count) default).
+        if (
+            workers is None
+            and self.netlist.num_nets <= self.config.parallel_net_threshold
+        ):
+            workers = 1
         return ParallelExecutor(
             workers,
             tracer=self.tracer,
@@ -526,6 +553,7 @@ class SynergisticRouter:
             timing_reroute_moves=moves,
             telemetry=tracer.snapshot(),
             degraded=degraded,
+            parallel_info=parallel_run_info(self.config),
         )
         if checkpoint is not None:
             checkpoint.save(

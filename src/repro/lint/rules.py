@@ -569,6 +569,93 @@ class SpanEventNameLiteralRule(Rule):
             )
 
 
+@register
+class ModuleMutableStateRule(Rule):
+    """REPRO013: no module-level mutable state in executor task modules.
+
+    Task functions submitted to :class:`repro.parallel.ParallelExecutor`
+    must be pure functions of their arguments.  Under the thread backend
+    a module-level dict/list is shared state that workers can race on;
+    under the spawn-based process backend it is worse in a quieter way —
+    every worker re-imports the module and gets its *own* copy, so a
+    cache or accumulator that "works" in-process silently diverges
+    between coordinator and workers.  Module-level bindings in
+    ``repro.parallel`` are therefore restricted to immutables (strings,
+    numbers, tuples, frozensets); anything a worker needs must travel
+    through the task object or the shared-memory arena.
+
+    ``__all__`` and other dunder bindings are exempt: they are import
+    machinery, assigned once and never mutated.
+    """
+
+    rule_id = "REPRO013"
+    title = "no module-level mutable state in task modules"
+    rationale = (
+        "spawn workers re-import task modules, so module-level mutable "
+        "state silently forks into per-process copies (and races under "
+        "threads)"
+    )
+    remedy = (
+        "pass state through the task dataclass or the shared-memory "
+        "arena; keep module-level bindings immutable"
+    )
+    node_types = (ast.Module,)
+    include = ("repro.parallel",)
+
+    _MUTABLE_FACTORIES = frozenset(
+        {
+            "list",
+            "dict",
+            "set",
+            "bytearray",
+            "defaultdict",
+            "deque",
+            "Counter",
+            "OrderedDict",
+        }
+    )
+
+    def _is_mutable(self, value: ast.AST) -> bool:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(value, (ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            name = dotted_name(value.func)
+            if name is not None and name.split(".")[-1] in self._MUTABLE_FACTORIES:
+                return True
+        return False
+
+    @staticmethod
+    def _target_names(stmt: ast.stmt) -> Iterator[str]:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    yield target.id
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                yield stmt.target.id
+
+    def visit(self, module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        """Flag top-level bindings of mutable containers (``__all__`` exempt)."""
+        for stmt in module.body:
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            if stmt.value is None or not self._is_mutable(stmt.value):
+                continue
+            names = [
+                name
+                for name in self._target_names(stmt)
+                if not (name.startswith("__") and name.endswith("__"))
+            ]
+            for name in names:
+                yield ctx.finding(
+                    self,
+                    stmt,
+                    f"module-level mutable binding {name!r} in a task module",
+                )
+
+
 #: Scope tuples re-exported for the docs generator and tests.
 DETERMINISTIC_SCOPES: Tuple[str, ...] = _DETERMINISTIC_SCOPES
 TERMINAL_SCOPES: Tuple[str, ...] = _TERMINAL_SCOPES

@@ -1,28 +1,48 @@
-"""Chunked parallel map.
+"""Chunked parallel map over threads or spawned processes.
 
 The paper parallelizes phase II with OpenMP: per-TDM-edge work (Eq. 12
 solves, legalization, wire assignment) and per-connection reductions.  In
 Python the numerically heavy reductions are vectorized with numpy instead
 (see :mod:`repro.core.lagrangian`); this executor covers the remaining
-per-edge, object-level work.  Threads are used because the per-edge work
-is dominated by numpy calls that release the GIL; callers can force
-sequential execution (the paper, likewise, uses one thread for designs
-under 200k nets to avoid scheduling overhead).
+per-edge, object-level work and — since the sharded phase I landed — the
+per-shard routing tasks of :mod:`repro.parallel.sharding`.
+
+Two backends share one dispatch interface:
+
+* ``"thread"`` (default) — a persistent :class:`ThreadPoolExecutor`.
+  Right for tasks dominated by numpy calls that release the GIL (phase
+  II's per-edge work) and for closures, which need no pickling.
+* ``"process"`` — a persistent :class:`ProcessPoolExecutor` using the
+  ``spawn`` start method.  Escapes the GIL for pure-Python tasks (the
+  phase I shard routes), at the price of spawn-safety: the function and
+  every item must be picklable, so tasks are module-level functions of
+  plain-data payloads (lint rule REPRO013 enforces the matching
+  no-module-state discipline on task modules).
+
+Worker-count resolution: ``num_workers=None`` honors the
+``REPRO_WORKERS`` environment variable when set (the one sanctioned
+ambient knob — the resolved count and its provenance are recorded in run
+reports and ``BENCH_*.json`` so sentinel comparisons stay
+apples-to-apples), and otherwise falls back to the paper's
+``min(10, cpu_count)`` 10-thread setup.
 
 Failure semantics (docs/resilience.md): a task raising
 :class:`TransientWorkerError` — the executor's model of a killed or
 preempted worker — is retried up to ``max_retries`` times with doubling
-backoff.  The per-edge tasks dispatched here are pure functions of their
-inputs, so a re-run is idempotent.  Any other exception fails fast and
-propagates to the dispatch thread.
+backoff.  Under the process backend a worker process dying outright
+(``BrokenProcessPool``) is folded into the same transient hierarchy: the
+pool is respawned and the task retried.  The tasks dispatched here are
+pure functions of their inputs, so a re-run is idempotent.  Any other
+exception fails fast and propagates to the dispatch side.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, TypeVar
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -31,14 +51,19 @@ R = TypeVar("R")
 #: :mod:`repro.resilience.faults`).
 TASK_SITE = "parallel.task"
 
+#: Environment variable overriding ``num_workers=None`` resolution.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+_BACKENDS = ("thread", "process")
+
 
 class TransientWorkerError(RuntimeError):
     """A worker failure that is safe to retry (task is idempotent).
 
     Raised (or injected — :class:`repro.resilience.faults.WorkerKilled`
     subclasses this) when a worker dies mid-task.  The executor's retry
-    loop treats exactly this hierarchy as retryable; everything else
-    fails fast.
+    loop treats exactly this hierarchy — plus a broken process pool —
+    as retryable; everything else fails fast.
     """
 
 
@@ -50,17 +75,50 @@ def chunked(items: Sequence[T], chunk_size: int) -> Iterator[List[T]]:
         yield list(items[start : start + chunk_size])
 
 
+def resolve_workers(num_workers: Optional[int]) -> Tuple[int, bool]:
+    """Resolve a worker-count request to ``(count, from_env)``.
+
+    ``None`` reads ``REPRO_WORKERS`` when set (``from_env`` is then True)
+    and otherwise applies the paper's ``min(10, cpu_count)`` default; an
+    explicit count always wins and never consults the environment.
+
+    Raises:
+        ValueError: when ``REPRO_WORKERS`` is set but not a non-negative
+            integer (a typo must not silently fall back).
+    """
+    if num_workers is not None:
+        return num_workers, False
+    raw = os.environ.get(WORKERS_ENV_VAR, "").strip()  # lint: disable=REPRO010
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV_VAR} must be a non-negative integer, got {raw!r}"
+            ) from None
+        if value < 0:
+            raise ValueError(
+                f"{WORKERS_ENV_VAR} must be a non-negative integer, got {raw!r}"
+            )
+        return value, True
+    return min(10, os.cpu_count() or 1), False
+
+
 class ParallelExecutor:
-    """Maps a function over items, sequentially or with a thread pool.
+    """Maps a function over items, sequentially or with a worker pool.
 
     Args:
-        num_workers: worker threads; ``0`` or ``1`` runs sequentially;
-            ``None`` picks ``min(10, cpu_count)`` mirroring the paper's
-            10-thread setup.
+        num_workers: workers; ``0`` or ``1`` runs sequentially; ``None``
+            resolves via :func:`resolve_workers` (``REPRO_WORKERS`` env
+            override, else the paper's ``min(10, cpu_count)``).
         tracer: optional :class:`repro.obs.Tracer`; when given, every
             :meth:`map` call is wrapped in a ``parallel.map`` span with
-            task/worker counts (dispatch-side only — worker threads are
-            never touched, so sinks see a single-threaded span stream).
+            task/worker/backend attributes (dispatch-side only — worker
+            threads/processes are never touched, so sinks see a
+            single-threaded span stream).
+        backend: ``"thread"`` (default) or ``"process"`` (spawn start
+            method).  The process backend requires picklable functions
+            and items; see the module docstring.
         max_retries: retries per task for :class:`TransientWorkerError`
             failures; ``0`` disables retrying.
         retry_backoff: base sleep in seconds before a retry, doubling per
@@ -69,34 +127,42 @@ class ParallelExecutor:
             attempt at site ``"parallel.task"``; defaults to the tracer's
             ``fault_plan`` attribute when present (so a
             :class:`repro.resilience.faults.FaultInjectingTracer` wires
-            the whole stack without core code changes).
+            the whole stack without core code changes).  Fires on the
+            dispatch side under both backends, so injection stays
+            deterministic even across processes.
 
-    The thread pool is created lazily on the first parallel :meth:`map`
-    and reused by every later call — one executor can serve a whole
-    phase II run (legalizer + wire assigner + refine rounds) without
-    re-spawning threads.  Call :meth:`close` (or use the executor as a
-    context manager) to release the threads; a closed executor re-creates
-    the pool on the next parallel map.
+    The pool is created lazily on the first parallel :meth:`map` and
+    reused by every later call — one executor can serve a whole routing
+    run (sharded first pass + legalizer + wire assigner + refine rounds)
+    without re-spawning workers.  Call :meth:`close` (or use the executor
+    as a context manager) to release the workers; a closed executor
+    re-creates the pool on the next parallel map.
     """
 
     def __init__(
         self,
-        num_workers: int = 1,
+        num_workers: Optional[int] = 1,
         tracer: Optional[object] = None,
         *,
+        backend: str = "thread",
         max_retries: int = 0,
         retry_backoff: float = 0.01,
         fault_plan: Optional[object] = None,
     ) -> None:
-        if num_workers is None:
-            num_workers = min(10, os.cpu_count() or 1)
+        num_workers, from_env = resolve_workers(num_workers)
         if num_workers < 0:
             raise ValueError("num_workers must be non-negative")
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_BACKENDS}, got {backend!r}"
+            )
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         if retry_backoff < 0:
             raise ValueError("retry_backoff must be non-negative")
         self.num_workers = num_workers
+        self.workers_from_env = from_env
+        self.backend = backend
         self.tracer = tracer
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
@@ -104,17 +170,21 @@ class ParallelExecutor:
             fault_plan = getattr(tracer, "fault_plan", None)
         self.fault_plan = fault_plan
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[ProcessPoolExecutor] = None
 
     @property
     def is_parallel(self) -> bool:
-        """Whether work is dispatched to a thread pool."""
+        """Whether work is dispatched to a worker pool."""
         return self.num_workers > 1
 
     def close(self) -> None:
-        """Shut down the persistent thread pool (idempotent)."""
+        """Shut down the persistent pools (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
 
     def __enter__(self) -> "ParallelExecutor":
         return self
@@ -122,33 +192,74 @@ class ParallelExecutor:
     def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
 
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
-        """Apply ``fn`` to every item, preserving order.
+        """Apply ``fn`` to every item, preserving item order.
 
-        Transient failures (:class:`TransientWorkerError`) are retried
-        per task up to ``max_retries`` times; other exceptions propagate
-        immediately.
+        Transient failures (:class:`TransientWorkerError`, and a broken
+        process pool under the process backend) are retried per task up
+        to ``max_retries`` times; other exceptions propagate immediately.
         """
+        return self._dispatch(fn, items, ordered=True)
+
+    def map_unordered(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """Apply ``fn`` to every item, yielding results in completion order.
+
+        Sequential execution (0/1 workers or a single item) degenerates
+        to :meth:`map`'s item order; with a parallel pool the order is
+        whatever the scheduler produces, so callers must not rely on it
+        (the router's ``deterministic_merge=False`` mode is the intended
+        consumer).  Retry semantics match :meth:`map`.
+        """
+        return self._dispatch(fn, items, ordered=False)
+
+    def _dispatch(
+        self, fn: Callable[[T], R], items: Iterable[T], ordered: bool
+    ) -> List[R]:
         items = list(items)
         tracer = self.tracer
         if tracer is None:
-            return self._map(fn, items)
+            return self._map(fn, items, ordered)
         with tracer.span(
-            "parallel.map", tasks=len(items), workers=self.num_workers
+            "parallel.map",
+            tasks=len(items),
+            workers=self.num_workers,
+            backend=self.backend,
+            ordered=ordered,
         ):
             tracer.add("parallel.tasks", len(items))
-            return self._map(fn, items)
+            return self._map(fn, items, ordered)
 
-    def _map(self, fn: Callable[[T], R], items: List[T]) -> List[R]:
-        run = self._run_task
+    def _map(self, fn: Callable[[T], R], items: List[T], ordered: bool) -> List[R]:
         if not self.is_parallel or len(items) <= 1:
+            run = self._run_task
             return [run(fn, item) for item in items]
+        if self.backend == "process":
+            return self._process_map(fn, items, ordered)
+        return self._thread_map(fn, items, ordered)
+
+    # -- thread backend -------------------------------------------------
+    def _thread_map(
+        self, fn: Callable[[T], R], items: List[T], ordered: bool
+    ) -> List[R]:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self.num_workers)
-        return list(self._pool.map(lambda item: run(fn, item), items))
+        run = self._run_task
+        if ordered:
+            return list(self._pool.map(lambda item: run(fn, item), items))
+        futures = [self._pool.submit(run, fn, item) for item in items]
+        results: List[R] = []
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                results.append(future.result())
+        return results
 
     def _run_task(self, fn: Callable[[T], R], item: T) -> R:
-        """One task with fault injection and bounded transient retries."""
+        """One in-process task with fault injection and bounded retries."""
         attempt = 0
         while True:
             try:
@@ -159,9 +270,93 @@ class ParallelExecutor:
                 attempt += 1
                 if attempt > self.max_retries:
                     raise
-                tracer = self.tracer
-                if tracer is not None:
-                    tracer.add("parallel.retries")
-                backoff = self.retry_backoff * (2 ** (attempt - 1))
-                if backoff > 0:
-                    time.sleep(backoff)
+                self._note_retry(attempt)
+
+    # -- process backend ------------------------------------------------
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
+        if self._process_pool is None:
+            import multiprocessing
+
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=self.num_workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+        return self._process_pool
+
+    def _process_map(
+        self, fn: Callable[[T], R], items: List[T], ordered: bool
+    ) -> List[R]:
+        """Submit to the process pool with per-task transient retries.
+
+        The fault plan fires on the dispatch side before each submission
+        attempt, so deterministic injection (and its counting) does not
+        depend on which process picks the task up.  A task that fails
+        transiently — including by breaking the pool — is resubmitted
+        (to a respawned pool when broken) until its retry budget runs
+        out.
+        """
+        attempts = [0] * len(items)
+        futures = {
+            self._submit_process(fn, item, index, attempts): index
+            for index, item in enumerate(items)
+        }
+        results: List[Optional[R]] = [None] * len(items)
+        completion: List[R] = []
+        while futures:
+            done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+            for future in done:
+                index = futures.pop(future)
+                try:
+                    value = future.result()
+                except BrokenProcessPool:
+                    if self._process_pool is not None:
+                        self._process_pool.shutdown(wait=False)
+                        self._process_pool = None
+                    self._retry_or_raise(
+                        index,
+                        attempts,
+                        TransientWorkerError("process pool broke mid-task"),
+                    )
+                    futures[self._submit_process(fn, items[index], index, attempts)] = index
+                    continue
+                except TransientWorkerError as exc:
+                    self._retry_or_raise(index, attempts, exc)
+                    futures[self._submit_process(fn, items[index], index, attempts)] = index
+                    continue
+                results[index] = value
+                completion.append(value)
+        return results if ordered else completion  # type: ignore[return-value]
+
+    def _submit_process(
+        self, fn: Callable[[T], R], item: T, index: int, attempts: List[int]
+    ):
+        """Fire the fault plan, then submit one task to the process pool.
+
+        Dispatch-side injection of a transient fault consumes the task's
+        retry budget exactly like a worker-side failure would; when the
+        budget still allows, the submission is retried immediately (the
+        injected failure happened before any work was dispatched).
+        """
+        while True:
+            try:
+                if self.fault_plan is not None:
+                    self.fault_plan.fire(TASK_SITE)
+                return self._ensure_process_pool().submit(fn, item)
+            except TransientWorkerError as exc:
+                self._retry_or_raise(index, attempts, exc)
+
+    def _retry_or_raise(
+        self, index: int, attempts: List[int], exc: TransientWorkerError
+    ) -> None:
+        attempts[index] += 1
+        if attempts[index] > self.max_retries:
+            raise exc
+        self._note_retry(attempts[index])
+
+    def _note_retry(self, attempt: int) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.add("parallel.retries")
+        backoff = self.retry_backoff * (2 ** (attempt - 1))
+        if backoff > 0:
+            time.sleep(backoff)

@@ -1,0 +1,292 @@
+"""Shard planning and the spawn-safe per-shard routing task.
+
+The sharded first pass splits phase I's initial routing across workers:
+
+1. The coordinator derives FPGA-aligned spatial shards with
+   :func:`repro.partition.die_shards.derive_die_shards` and classifies
+   every net with :func:`plan_shards` — *interior* to the one shard
+   containing its whole source/sink cone, or *boundary* when its cone
+   spans shards.
+2. Boundary connections are routed first on the coordinator, in their
+   global Floyd–Warshall order, exactly as the sequential first pass
+   would route them.
+3. The resulting pricing state (cost vector + demand) is published in a
+   :class:`~repro.parallel.shm.SharedRoutingArena` and every shard's
+   interior connections are routed concurrently by
+   :func:`route_shard_task` workers.
+
+Step 3 is safe for two reasons.  Workers are snapshot-isolated: each
+prices edges only against its private copy of the arena state plus its
+own shard's demand growth, so results depend on (arena, shard plan)
+alone — never on scheduling.  And the coordinator re-accounts every
+merged path in its own :class:`~repro.core.pathfinder.NegotiationState`,
+so any cross-shard contention the snapshots hid (a min-cost path may
+detour through another shard's territory — shard membership restricts
+which *connections* a worker routes, not which edges its searches may
+traverse) shows up as ordinary SLL overuse that the negotiation rounds
+rip up and heal, exactly as they heal sequential first-pass overflow.
+FPGA alignment makes such detours rare rather than impossible: every
+inter-shard edge is a TDM edge, so interior cones of different shards
+are SLL-disjoint by construction.
+
+Everything submitted to the process backend from here is spawn-safe:
+:func:`route_shard_task` is a module-level function, and
+:class:`ShardTask` carries only picklable payloads (the system, the
+delay model, the config as a dict, plain tuples).  Lint rule REPRO013
+keeps this module free of module-level mutable state so a spawned
+child importing it cannot observe parent-only mutations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.arch.system import MultiFpgaSystem
+from repro.netlist.netlist import Netlist
+from repro.parallel.shm import ArenaSpec, SharedRoutingArena
+from repro.partition.die_shards import DieShards
+from repro.timing.delay import DelayModel
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Assignment of connections to shards (or the boundary set).
+
+    Connection order within every tuple follows the global connection
+    order the plan was built from, so replaying ``boundary`` then each
+    shard's ``interior`` in shard order visits connections in a
+    deterministic, scheduling-independent sequence.
+
+    Attributes:
+        interior: per-shard tuples of interior connection indices.
+        boundary: connection indices of boundary-crossing nets.
+        net_shard: per-net shard index, ``-1`` for boundary nets.
+    """
+
+    interior: Tuple[Tuple[int, ...], ...]
+    boundary: Tuple[int, ...]
+    net_shard: Tuple[int, ...]
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards planned over."""
+        return len(self.interior)
+
+    @property
+    def num_interior(self) -> int:
+        """Total interior connections across all shards."""
+        return sum(len(conns) for conns in self.interior)
+
+
+def plan_shards(
+    netlist: Netlist, die_shards: DieShards, order: Sequence[int]
+) -> ShardPlan:
+    """Classify every connection of ``order`` against the shards.
+
+    A net is interior to a shard iff its source die and every crossing
+    sink die map to that one shard; all its connections then belong to
+    that shard (keeping the µ same-net discount consistent — one owner
+    routes the whole net).  Nets spanning shards are boundary and stay
+    on the coordinator.
+
+    Args:
+        netlist: the connection-level netlist.
+        die_shards: shard geometry from
+            :func:`repro.partition.die_shards.derive_die_shards`.
+        order: global connection routing order (Floyd–Warshall order).
+
+    Returns:
+        The :class:`ShardPlan` with ``order``'s sequence preserved
+        within every bucket.
+    """
+    die_shard = die_shards.die_shard
+    net_shard: List[int] = []
+    for net_index in range(netlist.num_nets):
+        net = netlist.net(net_index)
+        shard = die_shard[net.source_die]
+        for sink in net.crossing_sink_dies:
+            if die_shard[sink] != shard:
+                shard = -1
+                break
+        net_shard.append(shard)
+
+    interior: List[List[int]] = [[] for _ in range(die_shards.num_shards)]
+    boundary: List[int] = []
+    connections = netlist.connections
+    for conn_index in order:
+        shard = net_shard[connections[conn_index].net_index]
+        if shard < 0:
+            boundary.append(conn_index)
+        else:
+            interior[shard].append(conn_index)
+    return ShardPlan(
+        interior=tuple(tuple(conns) for conns in interior),
+        boundary=tuple(boundary),
+        net_shard=tuple(net_shard),
+    )
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Picklable payload routing one shard's interior connections.
+
+    Attributes:
+        shard_index: which shard this task covers.
+        system: the full die-level architecture (workers rebuild the
+            complete routing graph from it).
+        delay_model: delay constants for the cost model.
+        config: :meth:`RouterConfig.to_dict` form (dataclasses with
+            tuple fields pickle fine, but the dict form keeps the
+            payload stable across config growth).
+        weights: per-edge base weights from
+            :func:`repro.core.ordering.estimate_edge_weights`.
+        connections: ``(conn_index, net_index, source_die, sink_die)``
+            tuples in routing order.
+        arena: handle to the shared pricing arena.
+    """
+
+    shard_index: int
+    system: MultiFpgaSystem
+    delay_model: DelayModel
+    config: Dict[str, Any]
+    weights: Tuple[float, ...]
+    connections: Tuple[Tuple[int, int, int, int], ...]
+    arena: ArenaSpec
+
+
+@dataclass(frozen=True)
+class ShardRouteResult:
+    """One worker's routed shard.
+
+    Attributes:
+        shard_index: which shard was routed.
+        paths: ``(conn_index, die_path)`` pairs in routing order.
+        search_stats: ``searches``/``pops``/``relaxations`` counts.
+        kernel_stats: ``tree_hits``/``tree_misses``/``epoch_bumps``/
+            ``overlay_searches`` counts.
+    """
+
+    shard_index: int
+    paths: Tuple[Tuple[int, Tuple[int, ...]], ...]
+    search_stats: Dict[str, int]
+    kernel_stats: Dict[str, int]
+
+
+def build_shard_tasks(
+    plan: ShardPlan,
+    netlist: Netlist,
+    system: MultiFpgaSystem,
+    delay_model: DelayModel,
+    config: Mapping[str, Any],
+    weights: Sequence[float],
+    arena: ArenaSpec,
+) -> List[ShardTask]:
+    """Materialize one :class:`ShardTask` per non-empty shard."""
+    connections = netlist.connections
+    config_dict = dict(config)
+    weight_tuple = tuple(float(w) for w in weights)
+    tasks: List[ShardTask] = []
+    for shard_index, conn_indices in enumerate(plan.interior):
+        if not conn_indices:
+            continue
+        tasks.append(
+            ShardTask(
+                shard_index=shard_index,
+                system=system,
+                delay_model=delay_model,
+                config=config_dict,
+                weights=weight_tuple,
+                connections=tuple(
+                    (
+                        conn_index,
+                        connections[conn_index].net_index,
+                        connections[conn_index].source_die,
+                        connections[conn_index].sink_die,
+                    )
+                    for conn_index in conn_indices
+                ),
+                arena=arena,
+            )
+        )
+    return tasks
+
+
+def route_shard_task(task: ShardTask) -> ShardRouteResult:
+    """Route one shard's interior connections (spawn-safe worker body).
+
+    Rebuilds the full routing graph, cost model and negotiation state
+    from the task payload, seeds demand and the kernel cost vector from
+    the shared arena (the coordinator's exact post-boundary pricing),
+    and routes the shard's connections in order with the same inlined
+    kernel loop as the sequential first pass.  Because
+    ``cost_vector`` is a pure function of demand and history (zero in
+    the first pass), the seeded vector is bit-equal to what the worker
+    would recompute — seeding skips that O(edges) recompute and keeps
+    every worker priced identically to the coordinator.
+
+    Runs in spawned processes (must stay importable and module-level)
+    and equally under the thread backend.
+    """
+    # Imports deferred to the call: repro.core builds on repro.parallel
+    # (the router owns the executor), so importing it at module load
+    # would invert the layering for every repro.parallel consumer.
+    from repro.core.config import RouterConfig
+    from repro.core.cost import EdgeCostModel
+    from repro.core.pathfinder import NegotiationState
+    from repro.route.dijkstra import SearchStats
+    from repro.route.graph import RoutingGraph
+    from repro.route.kernel import RoutingKernel
+
+    arena = SharedRoutingArena.attach(task.arena)
+    try:
+        seed_demand = arena.demand_list()
+        seed_costs = arena.cost_list()
+    finally:
+        arena.close()
+
+    graph = RoutingGraph(task.system)
+    if len(seed_demand) != graph.num_edges:
+        raise ValueError(
+            f"arena holds {len(seed_demand)} edges, graph has "
+            f"{graph.num_edges}"
+        )
+    config = RouterConfig.from_dict(task.config)
+    cost_model = EdgeCostModel(graph, task.delay_model, config, task.weights)
+    state = NegotiationState(graph)
+    state.demand[:] = seed_demand
+    search_stats = SearchStats()
+    kernel = RoutingKernel(graph, cost_model, state, search_stats=search_stats)
+    kernel.cost_vec[:] = seed_costs
+
+    sync = kernel.sync
+    search = kernel.route
+    net_edges_view = state.net_edges_view
+    add_path = state.add_path
+    routed: List[Tuple[int, Tuple[int, ...]]] = []
+    for conn_index, net_index, source_die, sink_die in task.connections:
+        sync()
+        path = search(source_die, sink_die, net_edges_view(net_index))
+        if path is None:
+            raise RuntimeError(
+                f"connection {conn_index} (die {source_die} -> {sink_die}) "
+                "is unroutable: system graph disconnected"
+            )
+        add_path(net_index, path)
+        routed.append((conn_index, tuple(path)))
+
+    return ShardRouteResult(
+        shard_index=task.shard_index,
+        paths=tuple(routed),
+        search_stats={
+            "searches": search_stats.searches,
+            "pops": search_stats.pops,
+            "relaxations": search_stats.relaxations,
+        },
+        kernel_stats={
+            "tree_hits": kernel.stats.tree_hits,
+            "tree_misses": kernel.stats.tree_misses,
+            "epoch_bumps": kernel.stats.epoch_bumps,
+            "overlay_searches": kernel.stats.overlay_searches,
+        },
+    )

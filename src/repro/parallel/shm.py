@@ -1,0 +1,157 @@
+"""Shared-memory transport of the phase I pricing state.
+
+The sharded first pass (:mod:`repro.parallel.sharding`) seeds every
+worker with the coordinator's post-boundary pricing state: the flat
+per-edge cost vector maintained by
+:class:`~repro.route.kernel.RoutingKernel` and the per-edge demand of
+:class:`~repro.core.pathfinder.NegotiationState`.  Pickling both into
+every task payload would copy them once per shard through the spawn
+pipe; instead the coordinator publishes them once in a
+``multiprocessing.shared_memory`` block and ships only the block's name.
+Workers attach zero-copy numpy views, take their private mutable copies
+(each worker negotiates its own demand evolution — the shared block is a
+read-only seed, never a cross-process mutation channel), and detach.
+
+Thread-backend shard tasks go through the same arena: attaching within
+the owning process is free, and exercising one code path keeps the
+thread and process backends bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ArenaSpec:
+    """Picklable handle to an arena (ships inside every shard task).
+
+    Attributes:
+        name: the shared-memory block's system-wide name.
+        num_edges: entry count of each of the two arrays in the block.
+    """
+
+    name: str
+    num_edges: int
+
+
+class SharedRoutingArena:
+    """One shared-memory block holding ``[cost_vec | demand]``.
+
+    Layout: ``num_edges`` float64 cost entries followed by ``num_edges``
+    int64 demand entries.  The coordinator :meth:`create`\\ s (and later
+    :meth:`unlink`\\ s) the block; workers :meth:`attach` by spec and
+    :meth:`close` after copying out.
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, num_edges: int, owner: bool
+    ) -> None:
+        self._shm = shm
+        self._num_edges = num_edges
+        self._owner = owner
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, cost_vec: Sequence[float], demand: Sequence[int]
+    ) -> "SharedRoutingArena":
+        """Publish the coordinator's pricing state (owning side)."""
+        if len(cost_vec) != len(demand):
+            raise ValueError(
+                f"cost vector has {len(cost_vec)} entries, "
+                f"demand has {len(demand)}"
+            )
+        num_edges = len(cost_vec)
+        size = max(1, num_edges * (8 + 8))
+        shm = _open_shared_memory(create=True, size=size)
+        arena = cls(shm, num_edges, owner=True)
+        arena.cost_view()[:] = np.asarray(cost_vec, dtype=np.float64)
+        arena.demand_view()[:] = np.asarray(demand, dtype=np.int64)
+        return arena
+
+    @classmethod
+    def attach(cls, spec: ArenaSpec) -> "SharedRoutingArena":
+        """Open an existing arena by name (worker side, zero-copy)."""
+        shm = _open_shared_memory(create=False, name=spec.name)
+        return cls(shm, spec.num_edges, owner=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> ArenaSpec:
+        """The picklable handle workers attach with."""
+        return ArenaSpec(name=self._shm.name, num_edges=self._num_edges)
+
+    def cost_view(self) -> np.ndarray:
+        """float64 view of the cost-vector half (no copy)."""
+        return np.frombuffer(
+            self._shm.buf, dtype=np.float64, count=self._num_edges, offset=0
+        )
+
+    def demand_view(self) -> np.ndarray:
+        """int64 view of the demand half (no copy)."""
+        return np.frombuffer(
+            self._shm.buf,
+            dtype=np.int64,
+            count=self._num_edges,
+            offset=self._num_edges * 8,
+        )
+
+    def cost_list(self) -> List[float]:
+        """Private plain-float copy of the cost vector (kernel seed)."""
+        return self.cost_view().tolist()
+
+    def demand_list(self) -> List[int]:
+        """Private plain-int copy of the demand vector (state seed)."""
+        return self.demand_view().tolist()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach this handle's mapping (both sides; idempotent)."""
+        try:
+            self._shm.close()
+        except BufferError:
+            # A live numpy view still references the buffer; the mapping
+            # is released when the view is garbage-collected.
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the block system-wide (owning side only; idempotent)."""
+        if not self._owner:
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedRoutingArena":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+        self.unlink()
+
+
+def _open_shared_memory(
+    create: bool, size: int = 0, name: str = None
+) -> shared_memory.SharedMemory:
+    """Open a SharedMemory block, opting out of the resource tracker.
+
+    On Python >= 3.13 attaching processes pass ``track=False`` so the
+    resource tracker does not double-unlink blocks the coordinator owns;
+    older interpreters do not accept the keyword and keep the default
+    tracking (harmless — at worst a cleanup warning at exit).
+    """
+    kwargs = {"create": create}
+    if create:
+        kwargs["size"] = size
+    else:
+        kwargs["name"] = name
+    try:
+        return shared_memory.SharedMemory(track=create, **kwargs)
+    except TypeError:
+        return shared_memory.SharedMemory(**kwargs)

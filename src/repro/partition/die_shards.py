@@ -1,0 +1,247 @@
+"""FPGA-aligned spatial shards for process-parallel routing.
+
+The sharded phase I (:mod:`repro.parallel.sharding`) needs the die graph
+cut into spatially disjoint regions so workers can route interior
+connections without sharing mutable edge state.  This module derives
+those regions with the existing FM machinery, following the
+recursive-partitioning recipe of *An Open-Source Fast Parallel Routing
+Approach for Commercial FPGAs* (PAPERS.md).
+
+Shards are FPGA-aligned: the FM cells are whole FPGA devices, never
+individual dies.  The architecture invariant enforced by
+:class:`~repro.arch.MultiFpgaSystem` — SLL edges live within one FPGA,
+TDM edges always cross FPGAs — then guarantees every inter-shard edge is
+a TDM edge, so a connection whose source and sink cones stay inside one
+shard can never contend with another shard for SLL wires.  Cutting
+below FPGA granularity would break that guarantee.
+
+The cut objective is the hyperedge set of inter-FPGA TDM edges (one
+two-pin hyperedge per adjacent FPGA pair); areas weight FPGAs by their
+connection-endpoint counts when a netlist is supplied, so shards balance
+routing *work*, not just die counts.  Shard connectivity is **not**
+required: workers route on the full die graph (only shard *assignment*
+is spatial), so a shard consisting of disconnected FPGA groups is
+legal, merely less effective at avoiding boundary nets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arch import MultiFpgaSystem
+from repro.netlist import Netlist
+from repro.partition.fm import fm_bipartition
+
+
+@dataclass(frozen=True)
+class DieShards:
+    """Spatially disjoint, FPGA-aligned shards of a die graph.
+
+    Attributes:
+        shards: per-shard sorted tuples of FPGA indices.
+        fpga_shard: per-FPGA shard index.
+        die_shard: per-die shard index (dies follow their FPGA).
+        cut_edges: global indices of edges crossing shards (all TDM).
+    """
+
+    shards: Tuple[Tuple[int, ...], ...]
+    fpga_shard: Tuple[int, ...]
+    die_shard: Tuple[int, ...]
+    cut_edges: Tuple[int, ...]
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return len(self.shards)
+
+
+def derive_die_shards(
+    system: MultiFpgaSystem,
+    num_shards: int,
+    netlist: Optional[Netlist] = None,
+    max_passes: int = 10,
+) -> DieShards:
+    """Cut the system's FPGAs into ``num_shards`` spatial shards.
+
+    Recursive FM bisection over the FPGA-level graph: cells are FPGAs,
+    hyperedges are the inter-FPGA TDM edges (one two-pin edge per
+    adjacent FPGA pair, weighted implicitly by multiplicity), and areas
+    are per-FPGA connection-endpoint counts when ``netlist`` is given
+    (die counts otherwise).  ``num_shards`` is capped at the FPGA count;
+    shards are renumbered so shard 0 holds the lowest FPGA index.
+
+    Args:
+        system: the die-level architecture.
+        num_shards: requested shard count (>= 1).
+        netlist: optional netlist used to weight FPGAs by routing work.
+        max_passes: FM improvement passes per bisection.
+
+    Returns:
+        The derived :class:`DieShards`.
+
+    Raises:
+        ValueError: if ``num_shards`` is not positive.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    num_fpgas = system.num_fpgas
+    num_shards = min(num_shards, num_fpgas)
+
+    areas = _fpga_areas(system, netlist)
+    fpga_shard = [0] * num_fpgas
+    _bisect(
+        sorted(range(num_fpgas)),
+        num_shards,
+        0,
+        system,
+        areas,
+        fpga_shard,
+        max_passes,
+    )
+
+    # Renumber shards by their lowest FPGA index so the labelling is a
+    # pure function of the cut, not of the bisection recursion order.
+    first_fpga: dict = {}
+    for fpga in range(num_fpgas):
+        first_fpga.setdefault(fpga_shard[fpga], fpga)
+    relabel = {
+        old: new
+        for new, old in enumerate(
+            sorted(first_fpga, key=lambda label: first_fpga[label])
+        )
+    }
+    fpga_shard = [relabel[label] for label in fpga_shard]
+
+    shards: List[List[int]] = [[] for _ in range(max(fpga_shard) + 1)]
+    for fpga, shard in enumerate(fpga_shard):
+        shards[shard].append(fpga)
+    die_shard = [
+        fpga_shard[die.fpga_index] for die in system.dies
+    ]
+    cut_edges = tuple(
+        edge.index
+        for edge in system.edges
+        if die_shard[edge.die_a] != die_shard[edge.die_b]
+    )
+    return DieShards(
+        shards=tuple(tuple(sorted(members)) for members in shards),
+        fpga_shard=tuple(fpga_shard),
+        die_shard=tuple(die_shard),
+        cut_edges=cut_edges,
+    )
+
+
+def _fpga_areas(
+    system: MultiFpgaSystem, netlist: Optional[Netlist]
+) -> List[float]:
+    """Per-FPGA work estimate: connection endpoints, else die counts."""
+    areas = [float(fpga.num_dies) for fpga in system.fpgas]
+    if netlist is None:
+        return areas
+    endpoints = [0.0] * system.num_fpgas
+    for conn in netlist.connections:
+        endpoints[system.dies[conn.source_die].fpga_index] += 1.0
+        endpoints[system.dies[conn.sink_die].fpga_index] += 1.0
+    # Blend in the die-count floor so unused FPGAs keep nonzero area
+    # (FM rejects zero-area packings poorly and a dormant FPGA should
+    # still land somewhere sensible).
+    return [endpoints[i] + areas[i] for i in range(system.num_fpgas)]
+
+
+def _take_smallest(side: List[int], areas: Sequence[float]) -> int:
+    """Pop the smallest-area (lowest-index on ties) FPGA from ``side``."""
+    victim = min(side, key=lambda fpga: (areas[fpga], fpga))
+    side.remove(victim)
+    return victim
+
+
+def _bisect(
+    members: Sequence[int],
+    parts: int,
+    label_base: int,
+    system: MultiFpgaSystem,
+    areas: Sequence[float],
+    fpga_shard: List[int],
+    max_passes: int,
+) -> None:
+    """Recursively split ``members`` into ``parts`` shards.
+
+    Mirrors ``DiePartitioner``'s split rule: ``parts`` divides into
+    ``(parts + 1) // 2`` and ``parts // 2`` so uneven counts lean left;
+    side capacities are scaled by the target part counts so a 3-way
+    split of 4 FPGAs lands 2/1-ish rather than forcing exact halves.
+    """
+    if parts <= 1 or len(members) <= 1:
+        for fpga in members:
+            fpga_shard[fpga] = label_base
+        return
+    left_parts = (parts + 1) // 2
+    right_parts = parts // 2
+
+    local_index = {fpga: i for i, fpga in enumerate(members)}
+    member_set = set(members)
+    edges: List[Tuple[int, ...]] = []
+    for edge in system.tdm_edges:
+        fpga_a = system.dies[edge.die_a].fpga_index
+        fpga_b = system.dies[edge.die_b].fpga_index
+        if fpga_a in member_set and fpga_b in member_set and fpga_a != fpga_b:
+            edges.append((local_index[fpga_a], local_index[fpga_b]))
+
+    local_areas = [areas[fpga] for fpga in members]
+    total_area = sum(local_areas)
+    max_area = max(local_areas)
+    left_cap = total_area * left_parts / parts + max_area
+    right_cap = total_area * right_parts / parts + max_area
+    result = fm_bipartition(
+        len(members),
+        edges,
+        areas=local_areas,
+        capacities=(left_cap, right_cap),
+        max_passes=max_passes,
+    )
+
+    left = [fpga for i, fpga in enumerate(members) if result.sides[i] == 0]
+    right = [fpga for i, fpga in enumerate(members) if result.sides[i] == 1]
+    if not left or not right:
+        # Degenerate cut (capacities or topology collapsed one side):
+        # fall back to an area-balanced deterministic split so recursion
+        # always terminates with the requested part count.
+        ordered = sorted(members, key=lambda f: (-areas[f], f))
+        left, right = [], []
+        fill = [0.0, 0.0]
+        caps = (left_cap, right_cap)
+        for fpga in ordered:
+            side = 0 if fill[0] + areas[fpga] <= caps[0] + 1e-9 else 1
+            if side == 1 and fill[1] + areas[fpga] > caps[1] + 1e-9:
+                side = 0 if fill[0] <= fill[1] else 1
+            (left if side == 0 else right).append(fpga)
+            fill[side] += areas[fpga]
+        if not left or not right:
+            half = max(1, len(members) // 2)
+            ordered = sorted(members)
+            left, right = ordered[:half], ordered[half:]
+
+    # Each side must keep at least its target part count, or the
+    # recursion bottoms out short of the requested shards (an FM cut is
+    # free to go 3/1 on four FPGAs when the capacities allow it).  Move
+    # the smallest-area cells across until the counts work; num_shards
+    # is capped at the FPGA count, so the surplus side can always pay.
+    while len(left) < left_parts:
+        left.append(_take_smallest(right, areas))
+    while len(right) < right_parts:
+        right.append(_take_smallest(left, areas))
+
+    _bisect(
+        sorted(left), left_parts, label_base, system, areas, fpga_shard,
+        max_passes,
+    )
+    _bisect(
+        sorted(right),
+        right_parts,
+        label_base + left_parts,
+        system,
+        areas,
+        fpga_shard,
+        max_passes,
+    )

@@ -58,6 +58,7 @@ EXPORTS = [
     "default_portfolio",
     "evaluate",
     "load_solution",
+    "parallel_run_info",
     "resume",
     "route",
     "solution_fingerprint",

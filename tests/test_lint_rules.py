@@ -155,6 +155,22 @@ MATRIX = [
         "def f(t, i):\n    t.event('round.' + str(i))\n",
         "def f(t, i):\n    t.event('round', iteration=i)\n",
     ),
+    (
+        # Spawn workers re-import task modules: a module-level cache
+        # forks into per-process copies and never syncs back.
+        "REPRO013",
+        "repro.parallel.sharding",
+        "_GRAPH_CACHE = {}\n\ndef route_shard_task(task):\n    return task\n",
+        "__all__ = ['route_shard_task']\nSITE = 'parallel.task'\n"
+        "_KINDS = frozenset({'sll', 'tdm'})\n\n"
+        "def route_shard_task(task):\n    cache = {}\n    return task, cache\n",
+    ),
+    (
+        "REPRO013",
+        "repro.parallel.executor",
+        "from collections import defaultdict\nRETRIES = defaultdict(int)\n",
+        "RETRY_SITES = ('parallel.task',)\n",
+    ),
 ]
 
 MATRIX_IDS = [f"{rule_id}-{module.rsplit('.', 1)[-1]}" for rule_id, module, _, _ in MATRIX]

@@ -1,0 +1,372 @@
+"""The sharded first pass: geometry, planning, the arena, determinism.
+
+Four layers, mirroring the pipeline in :mod:`repro.parallel.sharding`:
+
+* **Shard geometry** — :func:`derive_die_shards` produces exactly the
+  requested number of FPGA-aligned shards (capped at the FPGA count),
+  every cut edge is TDM, and the cut is a deterministic function of the
+  input.
+* **Shard planning** — :func:`plan_shards` partitions the connection
+  order into interior buckets and a boundary set without losing or
+  reordering anything.
+* **Shared arena** — the pricing snapshot round-trips through shared
+  memory bit-exactly and attached views alias the owner's buffer.
+* **Determinism** — the headline acceptance property: with
+  ``deterministic_merge=True`` the sharded first pass is fingerprint-
+  identical to the sequential router, across backends, worker counts
+  (shard count pinned) and the contest cases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DelayModel, RouterConfig
+from repro.api import route, solution_fingerprint
+from repro.benchgen import load_case
+from repro.benchgen.generator import BenchmarkSpec, generate_case
+from repro.obs import build_run_report
+from repro.parallel import SharedRoutingArena, plan_shards, route_shard_task
+from repro.parallel.sharding import build_shard_tasks  # noqa: F401  (export check)
+from repro.partition import DieShards, derive_die_shards
+
+#: Shard-friendly generated case: 4 FPGAs, strongly local traffic, so a
+#: healthy fraction of nets are interior to a 2-shard cut.
+SHARD_SPEC = BenchmarkSpec(
+    name="shardcase",
+    num_fpgas=4,
+    sll_wires_total=800,
+    num_tdm_edges=6,
+    tdm_wires_total=600,
+    num_nets=160,
+    num_connections=280,
+    seed=7,
+    locality=0.9,
+    cross_weight=1.0,
+)
+
+
+@pytest.fixture(scope="module")
+def shard_case():
+    return generate_case(SHARD_SPEC, 1.0)
+
+
+@pytest.fixture(scope="module")
+def delay_model():
+    return DelayModel()
+
+
+@pytest.fixture(scope="module")
+def sequential_fingerprint(shard_case, delay_model):
+    result = route(shard_case.system, shard_case.netlist, delay_model)
+    return solution_fingerprint(result.solution, delay_model)
+
+
+def _fingerprint(case, delay_model, **config_kwargs):
+    result = route(
+        case.system, case.netlist, delay_model, config=RouterConfig(**config_kwargs)
+    )
+    return solution_fingerprint(result.solution, delay_model)
+
+
+# ----------------------------------------------------------------------
+# Shard geometry
+# ----------------------------------------------------------------------
+class TestDieShards:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_exact_shard_count(self, shard_case, k):
+        shards = derive_die_shards(shard_case.system, k, shard_case.netlist)
+        assert shards.num_shards == k
+
+    def test_request_capped_at_fpga_count(self, shard_case):
+        shards = derive_die_shards(shard_case.system, 8, shard_case.netlist)
+        assert shards.num_shards == shard_case.system.num_fpgas
+
+    def test_nonpositive_request_rejected(self, shard_case):
+        with pytest.raises(ValueError):
+            derive_die_shards(shard_case.system, 0)
+
+    def test_shards_partition_the_fpgas(self, shard_case):
+        shards = derive_die_shards(shard_case.system, 3, shard_case.netlist)
+        seen = [f for members in shards.shards for f in members]
+        assert sorted(seen) == list(range(shard_case.system.num_fpgas))
+        for shard, members in enumerate(shards.shards):
+            for fpga in members:
+                assert shards.fpga_shard[fpga] == shard
+
+    def test_dies_follow_their_fpga(self, shard_case):
+        system = shard_case.system
+        shards = derive_die_shards(system, 2, shard_case.netlist)
+        for die in system.dies:
+            assert shards.die_shard[die.index] == shards.fpga_shard[die.fpga_index]
+
+    def test_every_cut_edge_is_tdm(self, shard_case):
+        """The architecture invariant the whole design leans on: SLL
+        edges never cross FPGAs, so FPGA-aligned shards only ever cut
+        TDM edges."""
+        system = shard_case.system
+        tdm_indices = {edge.index for edge in system.tdm_edges}
+        for k in (2, 3, 4):
+            shards = derive_die_shards(system, k, shard_case.netlist)
+            for edge_index in shards.cut_edges:
+                assert edge_index in tdm_indices
+
+    def test_derivation_is_deterministic(self, shard_case):
+        first = derive_die_shards(shard_case.system, 2, shard_case.netlist)
+        second = derive_die_shards(shard_case.system, 2, shard_case.netlist)
+        assert first == second
+
+    def test_shard_zero_holds_lowest_fpga(self, shard_case):
+        """Labels are canonicalized by lowest member, independent of the
+        bisection recursion order."""
+        for k in (2, 3, 4):
+            shards = derive_die_shards(shard_case.system, k, shard_case.netlist)
+            firsts = [members[0] for members in shards.shards]
+            assert firsts == sorted(firsts)
+            assert shards.fpga_shard[0] == 0
+
+    def test_works_without_a_netlist(self, shard_case):
+        shards = derive_die_shards(shard_case.system, 2)
+        assert isinstance(shards, DieShards)
+        assert shards.num_shards == 2
+
+
+# ----------------------------------------------------------------------
+# Shard planning
+# ----------------------------------------------------------------------
+class TestShardPlan:
+    @pytest.fixture(scope="class")
+    def plan_and_shards(self, shard_case):
+        shards = derive_die_shards(shard_case.system, 2, shard_case.netlist)
+        order = list(range(shard_case.netlist.num_connections))
+        return plan_shards(shard_case.netlist, shards, order), shards, order
+
+    def test_buckets_partition_the_order(self, plan_and_shards):
+        plan, _, order = plan_and_shards
+        routed = list(plan.boundary) + [
+            c for bucket in plan.interior for c in bucket
+        ]
+        assert sorted(routed) == sorted(order)
+        assert plan.num_interior + len(plan.boundary) == len(order)
+
+    def test_buckets_preserve_the_order(self, plan_and_shards):
+        plan, _, order = plan_and_shards
+        position = {conn: i for i, conn in enumerate(order)}
+        for bucket in plan.interior + (plan.boundary,):
+            ranks = [position[c] for c in bucket]
+            assert ranks == sorted(ranks)
+
+    def test_interior_nets_have_one_shard_cone(self, plan_and_shards, shard_case):
+        plan, shards, _ = plan_and_shards
+        netlist = shard_case.netlist
+        for net_index, shard in enumerate(plan.net_shard):
+            net = netlist.net(net_index)
+            cone = {shards.die_shard[net.source_die]}
+            cone.update(shards.die_shard[d] for d in net.crossing_sink_dies)
+            if shard >= 0:
+                assert cone == {shard}
+            else:
+                assert len(cone) > 1
+
+    def test_whole_net_stays_in_one_bucket(self, plan_and_shards, shard_case):
+        """All connections of one net land in the same bucket, so the
+        same-net pricing discount is applied by exactly one owner."""
+        plan, _, _ = plan_and_shards
+        connections = shard_case.netlist.connections
+        for shard, bucket in enumerate(plan.interior):
+            for conn in bucket:
+                assert plan.net_shard[connections[conn].net_index] == shard
+        for conn in plan.boundary:
+            assert plan.net_shard[connections[conn].net_index] == -1
+
+    def test_local_traffic_yields_interior_work(self, plan_and_shards):
+        plan, _, _ = plan_and_shards
+        assert plan.num_interior > 0, (
+            "shard-friendly case produced no interior nets; the sharded "
+            "path would always disengage"
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared arena
+# ----------------------------------------------------------------------
+class TestSharedRoutingArena:
+    def test_roundtrip_is_bit_exact(self):
+        costs = [1.5, 2.25, 0.125, 9.0]
+        demand = [0, 3, 1, 7]
+        with SharedRoutingArena.create(costs, demand) as owner:
+            attached = SharedRoutingArena.attach(owner.spec)
+            try:
+                assert attached.cost_list() == costs
+                assert attached.demand_list() == demand
+            finally:
+                attached.close()
+
+    def test_attached_views_alias_the_owner(self):
+        with SharedRoutingArena.create([1.0, 2.0], [0, 0]) as owner:
+            attached = SharedRoutingArena.attach(owner.spec)
+            try:
+                attached.cost_view()[1] = 42.0
+                attached.demand_view()[0] = 5
+                assert owner.cost_list() == [1.0, 42.0]
+                assert owner.demand_list() == [5, 0]
+            finally:
+                attached.close()
+
+    def test_lists_are_private_copies(self):
+        with SharedRoutingArena.create([3.0], [1]) as owner:
+            snapshot = owner.cost_list()
+            owner.cost_view()[0] = 99.0
+            assert snapshot == [3.0]
+
+    def test_unlink_is_owner_only_and_idempotent(self):
+        owner = SharedRoutingArena.create([1.0], [0])
+        spec = owner.spec
+        attached = SharedRoutingArena.attach(spec)
+        attached.close()
+        attached.unlink()  # non-owner: no-op
+        owner.close()
+        owner.unlink()
+        owner.unlink()  # second unlink tolerated
+        with pytest.raises(FileNotFoundError):
+            SharedRoutingArena.attach(spec)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            SharedRoutingArena.create([1.0, 2.0], [0])
+
+
+# ----------------------------------------------------------------------
+# Determinism: the acceptance property
+# ----------------------------------------------------------------------
+class TestShardedDeterminism:
+    def test_thread_sharded_matches_sequential(
+        self, shard_case, delay_model, sequential_fingerprint
+    ):
+        fp = _fingerprint(
+            shard_case, delay_model, num_shards=2, num_workers=2
+        )
+        assert fp == sequential_fingerprint
+
+    def test_worker_count_independent_with_pinned_shards(
+        self, shard_case, delay_model
+    ):
+        """The schedule is a function of the shard plan, not the pool
+        size: pinning num_shards makes 1 and 2 workers bit-identical."""
+        fp1 = _fingerprint(shard_case, delay_model, num_shards=2, num_workers=1)
+        fp2 = _fingerprint(shard_case, delay_model, num_shards=2, num_workers=2)
+        assert fp1 == fp2
+
+    def test_process_backend_matches_sequential(
+        self, shard_case, delay_model, sequential_fingerprint
+    ):
+        fp = _fingerprint(
+            shard_case,
+            delay_model,
+            parallel_backend="process",
+            num_shards=2,
+            num_workers=2,
+        )
+        assert fp == sequential_fingerprint
+
+    def test_single_shard_request_falls_back(self, shard_case, delay_model):
+        """num_shards=1 cannot be split, so the sharded path disengages
+        and the run is plainly sequential."""
+        fp = _fingerprint(shard_case, delay_model, num_shards=1, num_workers=4)
+        base = _fingerprint(shard_case, delay_model)
+        assert fp == base
+
+    def test_run_report_records_the_pool(self, shard_case, delay_model):
+        result = route(
+            shard_case.system,
+            shard_case.netlist,
+            delay_model,
+            config=RouterConfig(
+                parallel_backend="process", num_shards=2, num_workers=2
+            ),
+        )
+        assert result.parallel_info["backend"] == "process"
+        assert result.parallel_info["resolved_workers"] == 2
+        section = build_run_report(result)["parallel"]
+        assert section["backend"] == "process"
+        assert section["num_shards"] == 2
+        assert section["deterministic_merge"] is True
+        assert section["workers_from_env"] is False
+
+
+class TestContestCaseDeterminism:
+    """Contest-case acceptance for ``deterministic_merge=True``.
+
+    The guarantee (docs/performance.md): the sharded result is a pure
+    function of (case, config) — bit-identical across backends, worker
+    counts and reruns, because the boundary-first schedule depends only
+    on the shard plan, never on pool scheduling.  On a first pass that
+    stays overflow-free the schedule change is also invisible and the
+    result further equals the *unsharded* sequential route (case02 and
+    case05 below); a congested first pass (case07) negotiates rip-ups
+    in schedule order, so sharded and unsharded runs legitimately
+    settle on different — equally legal, equally deterministic —
+    solutions."""
+
+    @pytest.mark.parametrize("name", ["case02", "case05", "case07"])
+    def test_process_merge_is_schedule_deterministic(self, name, delay_model):
+        case = load_case(name)
+        sharded = dict(parallel_backend="process", num_shards=2, num_workers=2)
+        first = _fingerprint(case, delay_model, **sharded)
+        # Same schedule executed sequentially on the thread backend.
+        assert first == _fingerprint(
+            case, delay_model, num_shards=2, num_workers=1
+        )
+        # And stable across reruns of the process backend itself.
+        assert first == _fingerprint(case, delay_model, **sharded)
+
+    @pytest.mark.parametrize("name", ["case02", "case05"])
+    def test_overflow_free_cases_match_unsharded_sequential(
+        self, name, delay_model
+    ):
+        case = load_case(name)
+        base = route(case.system, case.netlist, delay_model)
+        assert base.initial_stats.final_overflow == 0
+        sharded = _fingerprint(
+            case,
+            delay_model,
+            parallel_backend="process",
+            num_shards=2,
+            num_workers=2,
+        )
+        assert sharded == solution_fingerprint(base.solution, delay_model)
+
+
+# ----------------------------------------------------------------------
+# The worker task body, driven directly
+# ----------------------------------------------------------------------
+class TestRouteShardTask:
+    def test_task_routes_every_assigned_connection(self, shard_case, delay_model):
+        from repro.core.config import RouterConfig as Config
+        from repro.core.cost import EdgeCostModel
+        from repro.core.ordering import estimate_edge_weights
+        from repro.route.graph import RoutingGraph
+
+        system, netlist = shard_case.system, shard_case.netlist
+        shards = derive_die_shards(system, 2, netlist)
+        order = list(range(netlist.num_connections))
+        plan = plan_shards(netlist, shards, order)
+        graph = RoutingGraph(system)
+        config = Config()
+        weights = estimate_edge_weights(graph, netlist)
+        cost_model = EdgeCostModel(graph, delay_model, config, weights)
+        costs = list(cost_model.cost_vector([0] * graph.num_edges))
+        with SharedRoutingArena.create(costs, [0] * graph.num_edges) as arena:
+            tasks = build_shard_tasks(
+                plan, netlist, system, delay_model, config.to_dict(),
+                weights, arena.spec,
+            )
+            assert tasks, "no non-empty shards"
+            result = route_shard_task(tasks[0])
+        routed = dict(result.paths)
+        assert sorted(routed) == sorted(plan.interior[tasks[0].shard_index])
+        for conn_index, path in routed.items():
+            conn = netlist.connections[conn_index]
+            assert path[0] == conn.source_die
+            assert path[-1] == conn.sink_die
+        assert result.search_stats["searches"] == len(routed)
