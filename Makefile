@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint chaos bench bench-fast perf profile examples suite trace clean
+.PHONY: install test lint chaos serve bench bench-fast perf profile examples suite trace clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,6 +20,14 @@ lint:
 # exceptions, wall-clock budget exhaustion) with 1 and 4 workers.
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_resilience.py tests/test_chaos.py -q
+
+# Serving-layer smoke (docs/serving.md): replay a deterministic load
+# through the routing service and fail unless every fingerprint matches
+# its sequential run, zero requests fail, and the warm cache hits.
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro.cli.serve_cli \
+		--cases case02,case05 --requests 12 --concurrency 3 --seed 2025 \
+		--report serve_report.json --trace-out serve_trace.jsonl --check
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -77,5 +85,7 @@ clean:
 	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info bench_out
 	rm -f trace.jsonl run_report.json lint_findings.json
 	rm -f trace_chrome.json PERF_SENTINEL.json
-	find . -maxdepth 1 -name 'BENCH_*.json' ! -name BENCH_phase2.json -delete
+	rm -f serve_report.json serve_trace.jsonl
+	find . -maxdepth 1 -name 'BENCH_*.json' ! -name BENCH_phase2.json \
+		! -name BENCH_parallel.json ! -name BENCH_serve.json -delete
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,100 @@
+"""Serving-layer benchmark: throughput, latency and warm-cache payoff.
+
+Replays the deterministic load generator (docs/serving.md) through a
+:class:`repro.serve.RoutingService` and records req/s, p50/p99 latency
+(from the service's obs quantile sketches), warm-artifact cache hit
+rates and the fingerprint-vs-sequential verdict.  The repeated-topology
+scenario is the serving layer's headline claim: the warm cache must
+serve > 80% of lookups while every concurrent response stays
+bit-identical to its sequential cold run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_bench_result, register_report
+from repro.obs import Tracer
+from repro.serve import LoadSpec, run_load
+
+#: (label, spec, hit-rate floor) — the floor is asserted, not just logged.
+SCENARIOS = [
+    (
+        "repeated_topology",
+        LoadSpec(
+            cases=("case02", "case05"),
+            requests=16,
+            concurrency=4,
+            seed=2025,
+            cache_entries=8,
+        ),
+        0.8,
+    ),
+    (
+        "priority_mix",
+        LoadSpec(
+            cases=("case02", "case05"),
+            requests=10,
+            concurrency=2,
+            seed=7,
+            priorities=(0, 5),
+            cache_entries=8,
+        ),
+        0.5,
+    ),
+]
+
+IDS = [label for label, _, _ in SCENARIOS]
+
+
+@pytest.mark.parametrize("label,spec,hit_floor", SCENARIOS, ids=IDS)
+def test_serve_load(benchmark, label, spec, hit_floor):
+    tracer = Tracer()
+
+    report = benchmark.pedantic(
+        lambda: run_load(spec, tracer=tracer), rounds=1, iterations=1
+    )
+
+    # The service contract, enforced here so a regression fails the
+    # bench rather than shipping a misleading number.
+    assert report.failed == 0, "no request may fail under the service"
+    assert not report.fingerprint_mismatches, (
+        "concurrent responses must be bit-identical to sequential runs: "
+        f"{report.fingerprint_mismatches}"
+    )
+    assert report.fingerprint_matches == report.ok
+    assert report.cache_hit_rate > hit_floor, (
+        f"warm-artifact hit rate {report.cache_hit_rate:.0%} below the "
+        f"{hit_floor:.0%} floor on a repeated-topology workload"
+    )
+
+    record_bench_result(
+        "serve",
+        ",".join(spec.cases),
+        scenario=label,
+        requests=report.total,
+        concurrency=spec.concurrency,
+        requests_per_second=round(report.requests_per_second, 3),
+        latency_p50_seconds=round(report.latency_p50, 4),
+        latency_p99_seconds=round(report.latency_p99, 4),
+        queue_p50_seconds=round(report.queue_p50, 4),
+        cache_hits=report.cache_hits,
+        cache_misses=report.cache_misses,
+        cache_hit_rate=round(report.cache_hit_rate, 4),
+        ok=report.ok,
+        degraded=report.degraded,
+        failed=report.failed,
+        preemptions=report.preemptions,
+        fingerprints_verified=report.fingerprint_matches,
+    )
+    register_report(
+        "Serving: concurrent scheduler with shared warm caches",
+        [
+            f"{label}: {report.requests_per_second:.2f} req/s | "
+            f"p50 {report.latency_p50:.3f}s p99 {report.latency_p99:.3f}s | "
+            f"cache {report.cache_hit_rate:.0%} "
+            f"({report.cache_hits}h/{report.cache_misses}m) | "
+            f"preempt {report.preemptions} | "
+            f"{report.fingerprint_matches}/{report.ok} fingerprints verified"
+        ],
+    )

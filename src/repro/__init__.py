@@ -64,21 +64,27 @@ from repro.route import RoutingSolution
 from repro.timing import DelayModel, TimingAnalyzer
 from repro.drc import DesignRuleChecker
 from repro.api import (
+    ArtifactCache,
     CheckpointManager,
     Evaluation,
     FaultInjectingTracer,
     FaultPlan,
     FaultSpec,
+    RouteRequest,
+    RouteResponse,
     evaluate,
+    execute_request,
     load_solution,
     resume,
     route,
+    route_request,
     solution_fingerprint,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactCache",
     "CheckpointManager",
     "Connection",
     "DelayModel",
@@ -93,6 +99,8 @@ __all__ = [
     "MultiFpgaSystem",
     "Net",
     "Netlist",
+    "RouteRequest",
+    "RouteResponse",
     "RouterConfig",
     "RoutingResult",
     "RoutingSolution",
@@ -103,8 +111,10 @@ __all__ = [
     "TimingAnalyzer",
     "__version__",
     "evaluate",
+    "execute_request",
     "load_solution",
     "resume",
     "route",
+    "route_request",
     "solution_fingerprint",
 ]

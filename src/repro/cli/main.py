@@ -9,9 +9,9 @@ from typing import List, Optional
 from repro import (
     DelayModel,
     DesignRuleChecker,
-    RouterConfig,
-    SynergisticRouter,
+    RouteRequest,
     __version__,
+    execute_request,
 )
 from repro.benchgen import load_case
 from repro.io import parse_case_file, write_solution_file
@@ -193,34 +193,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             num_shards=args.shards,
             deterministic_merge=not args.completion_order_merge,
         )
+        # The facade owns RouterConfig normalization (REPRO014): knobs
+        # travel as a plain mapping on the request.
+        if baseline_cls is None:
+            from repro.io import case_to_dict
+
+            request = RouteRequest(
+                case=case_to_dict(system, netlist, delay_model),
+                config=parallel_knobs,
+                checkpoint_dir=args.checkpoint_dir,
+            )
         if args.router == "portfolio":
             from repro.api import PortfolioRouter, default_portfolio
 
-            config = RouterConfig(**parallel_knobs)
             outcome = PortfolioRouter(
-                system, netlist, delay_model, default_portfolio(config)
+                system, netlist, delay_model, default_portfolio(request.config)
             ).route()
             result = outcome.best
             if not args.quiet:
                 for row in outcome.table():
                     print(f"  {row}")
         elif baseline_cls is None:
-            config = RouterConfig(**parallel_knobs)
-            checkpoint = None
-            if args.checkpoint_dir:
-                from repro.api import CheckpointManager
-
-                checkpoint = CheckpointManager(
-                    args.checkpoint_dir, system, netlist, delay_model, config=config
-                )
-            result = SynergisticRouter(
-                system,
-                netlist,
-                delay_model,
-                config,
-                tracer=tracer,
-                checkpoint=checkpoint,
-            ).route()
+            result = execute_request(request, tracer=tracer)
         else:
             result = baseline_cls(system, netlist, delay_model).route()
     finally:

@@ -64,9 +64,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs import configure_logging
 
         configure_logging(args.log_level)
-    from repro.api import resume
+    from repro.api import RouteRequest, execute_request
 
-    result = resume(args.checkpoint, checkpoint_dir=args.checkpoint_dir)
+    request = RouteRequest(
+        resume_from=args.checkpoint, checkpoint_dir=args.checkpoint_dir
+    )
+    result = execute_request(request)
     if not args.quiet:
         print(f"resumed from       : {args.checkpoint}")
         print(f"critical delay     : {result.critical_delay:.2f}")

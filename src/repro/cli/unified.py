@@ -32,6 +32,7 @@ _SUBCOMMANDS: Dict[str, str] = {
     "partition": "repro.cli.partition_cli",
     "lint": "repro.cli.lint_cli",
     "resume": "repro.cli.resume_cli",
+    "serve": "repro.cli.serve_cli",
     "trace": "repro.cli.trace_cli",
     "perf": "repro.cli.perf_cli",
 }
@@ -43,6 +44,7 @@ _DESCRIPTIONS: Dict[str, str] = {
     "partition": "partition a hypergraph across dies",
     "lint": "run the AST invariant linter",
     "resume": "continue a checkpointed routing run",
+    "serve": "replay a deterministic load through the routing service",
     "trace": "attribute/summarize/export a JSONL trace",
     "perf": "check fresh timings against a committed baseline",
 }

@@ -76,7 +76,17 @@ class InitialRoutingStats:
 
 
 class InitialRouter:
-    """The paper's phase I router."""
+    """The paper's phase I router.
+
+    Args:
+        artifacts: optional warm per-topology state
+            (:class:`repro.core.artifacts.RoutingArtifacts`, built for
+            *this* case and pricing config).  When given, ``ir.prepare``
+            reuses the prebuilt graph/weights/ordering instead of
+            recomputing them, and kernel runs are seeded with the
+            pristine-cost SSSP trees — bit-identical to a cold run,
+            just cheaper.
+    """
 
     def __init__(
         self,
@@ -85,6 +95,7 @@ class InitialRouter:
         delay_model: Optional[DelayModel] = None,
         config: Optional[RouterConfig] = None,
         tracer: Optional[Tracer] = None,
+        artifacts: Optional[Any] = None,
     ) -> None:
         netlist.validate_against(system.num_dies)
         self.system = system
@@ -92,6 +103,7 @@ class InitialRouter:
         self.delay_model = delay_model if delay_model is not None else DelayModel()
         self.config = config if config is not None else RouterConfig()
         self.tracer = tracer if tracer is not None else Tracer()
+        self.artifacts = artifacts
         self.stats = InitialRoutingStats()
         self._search = SearchStats()
         self._kernel: Optional[RoutingKernel] = None
@@ -123,14 +135,30 @@ class InitialRouter:
         netlist = self.netlist
         tracer = self.tracer
         with tracer.span("ir.prepare"):
-            graph = RoutingGraph(self.system)
-            weights = estimate_edge_weights(graph, netlist, self.config.weight_mode)
-            self.stats.weight_mode = (
-                "delay" if weights[graph.is_tdm].max(initial=0) > 1 else "congestion"
-            )
-            dist = floyd_warshall(graph, weights)
-            order = order_connections(netlist, dist)
-            rank = {conn_index: pos for pos, conn_index in enumerate(order)}
+            if self.artifacts is not None:
+                # Warm path: the artifacts were computed with exactly the
+                # functions below (repro.core.artifacts.build_artifacts),
+                # so every value is bit-identical to the cold path.
+                graph = self.artifacts.graph
+                weights = self.artifacts.base_weights
+                self.stats.weight_mode = self.artifacts.weight_mode
+                dist = self.artifacts.dist
+                order = list(self.artifacts.order)
+                rank = dict(self.artifacts.rank)
+                tracer.add("ir.warm_prepares")
+            else:
+                graph = RoutingGraph(self.system)
+                weights = estimate_edge_weights(
+                    graph, netlist, self.config.weight_mode
+                )
+                self.stats.weight_mode = (
+                    "delay"
+                    if weights[graph.is_tdm].max(initial=0) > 1
+                    else "congestion"
+                )
+                dist = floyd_warshall(graph, weights)
+                order = order_connections(netlist, dist)
+                rank = {conn_index: pos for pos, conn_index in enumerate(order)}
 
         state = NegotiationState(graph)
         cost_model = EdgeCostModel(graph, self.delay_model, self.config, weights)
@@ -156,8 +184,19 @@ class InitialRouter:
             self.stats = InitialRoutingStats.from_dict(resume["stats"])
             start_round = int(resume["round"]) + 1
         if self.config.use_kernel:
+            # Seed trees are priced at zero demand/history, which only a
+            # fresh run starts from; a resumed run restores state first.
+            seed_trees = (
+                self.artifacts.seed_trees
+                if self.artifacts is not None and resume is None
+                else None
+            )
             self._kernel = RoutingKernel(
-                graph, cost_model, state, search_stats=self._search
+                graph,
+                cost_model,
+                state,
+                search_stats=self._search,
+                seed_trees=seed_trees,
             )
 
         if resume is None:

@@ -275,6 +275,17 @@ class SynergisticRouter:
             (e.g. :class:`repro.resilience.CheckpointManager`); when set,
             the run persists its state at every barrier of
             docs/resilience.md so it can be resumed bit-identically.
+        artifacts: optional warm per-topology state
+            (:class:`repro.core.artifacts.RoutingArtifacts` for this
+            case and pricing config) forwarded to phase I; reuses the
+            prebuilt graph/ordering/seed trees, bit-identical to a cold
+            run (docs/serving.md).
+        executor: optional externally pooled
+            :class:`~repro.parallel.ParallelExecutor` serving phase II.
+            The router never closes an external executor — the owner
+            (e.g. :class:`repro.serve.RoutingService`, which shares one
+            pool across requests) does; when absent the router creates
+            and closes its own.
     """
 
     def __init__(
@@ -285,6 +296,8 @@ class SynergisticRouter:
         config: Optional[RouterConfig] = None,
         tracer: Optional[Tracer] = None,
         checkpoint: Optional[Any] = None,
+        artifacts: Optional[Any] = None,
+        executor: Optional[ParallelExecutor] = None,
     ) -> None:
         netlist.validate_against(system.num_dies)
         self.system = system
@@ -293,6 +306,8 @@ class SynergisticRouter:
         self.config = config if config is not None else RouterConfig()
         self.tracer = tracer if tracer is not None else Tracer()
         self.checkpoint = checkpoint
+        self.artifacts = artifacts
+        self.executor = executor
 
     def route(self, resume: Optional[Mapping[str, Any]] = None) -> RoutingResult:
         """Run both phases (plus the timing-driven outer loop).
@@ -337,6 +352,7 @@ class SynergisticRouter:
                     self.delay_model,
                     self.config,
                     tracer=tracer,
+                    artifacts=self.artifacts,
                 )
                 solution = initial.route(checkpoint=checkpoint, deadline=deadline)
             initial_stats = initial.stats
@@ -349,6 +365,7 @@ class SynergisticRouter:
                     self.delay_model,
                     self.config,
                     tracer=tracer,
+                    artifacts=self.artifacts,
                 )
                 solution = initial.route(
                     resume=payload, checkpoint=checkpoint, deadline=deadline
@@ -391,10 +408,17 @@ class SynergisticRouter:
             degraded |= initial_stats.degraded
 
         # One executor serves every phase II stage of every round; its
-        # thread pool (when parallel) is spawned once and reused.
-        executor = TdmAssigner(
-            self.system, self.netlist, self.delay_model, self.config, tracer=tracer
-        )._executor()
+        # thread pool (when parallel) is spawned once and reused.  An
+        # external executor (the serving layer's shared pool) outlives
+        # the run and is never closed here.
+        owns_executor = self.executor is None
+        executor = (
+            self.executor
+            if self.executor is not None
+            else TdmAssigner(
+                self.system, self.netlist, self.delay_model, self.config, tracer=tracer
+            )._executor()
+        )
         try:
             analyzer = TimingAnalyzer(self.system, self.netlist, self.delay_model)
             if phase2_state == "run":
@@ -523,7 +547,8 @@ class SynergisticRouter:
                     else:
                         break
         finally:
-            executor.close()
+            if owns_executor:
+                executor.close()
         tracer.add("timing_reroute.moves", moves)
 
         times = PhaseTimes.from_tracer(tracer, baseline)

@@ -467,13 +467,14 @@ class EnvAccessRule(Rule):
 
 @register
 class DeepCoreImportRule(Rule):
-    """REPRO011: no ``repro.core.*`` imports from the CLI or examples.
+    """REPRO011: no ``repro.core.*`` imports from the CLI, serve or examples.
 
     :mod:`repro.api` is the stable facade (docs/api.md); the submodule
     layout under :mod:`repro.core` is free to move between releases.
-    User-facing layers — the CLI and the runnable examples, which double
-    as downstream-usage documentation — must demonstrate the supported
-    import path, not the internal one.
+    User-facing layers — the CLI, the :mod:`repro.serve` service layer
+    and the runnable examples, which double as downstream-usage
+    documentation — must demonstrate the supported import path, not the
+    internal one.
 
     Examples are not importable as ``repro.*`` modules (their dotted
     name degrades to the file stem), so scoping is by path here rather
@@ -481,7 +482,7 @@ class DeepCoreImportRule(Rule):
     """
 
     rule_id = "REPRO011"
-    title = "no repro.core imports in cli/examples"
+    title = "no repro.core imports in cli/serve/examples"
     rationale = (
         "deep imports freeze the internal submodule layout into "
         "user-facing code; the repro.api facade is the stable surface"
@@ -491,7 +492,7 @@ class DeepCoreImportRule(Rule):
 
     @staticmethod
     def _user_facing(ctx: FileContext) -> bool:
-        if Rule._matches(ctx.module, ("repro.cli",)):
+        if Rule._matches(ctx.module, ("repro.cli", "repro.serve")):
             return True
         return "examples" in Path(ctx.path).parts
 
@@ -654,6 +655,58 @@ class ModuleMutableStateRule(Rule):
                     stmt,
                     f"module-level mutable binding {name!r} in a task module",
                 )
+
+
+@register
+class ConfigConstructionRule(Rule):
+    """REPRO014: ``RouterConfig`` is built by the facade, not by callers.
+
+    The request/response surface (docs/api.md) normalizes plain mappings
+    into :class:`repro.core.RouterConfig` inside ``repro.api`` — that is
+    the one place field validation, defaulting and future migrations
+    live.  A user-facing layer that calls ``RouterConfig(...)`` or
+    ``RouterConfig.from_dict(...)`` directly re-freezes the config
+    schema into its own code and silently skips whatever normalization
+    the facade adds next.  The CLI, the service layer and the runnable
+    examples pass ``config={...}`` to :class:`repro.api.RouteRequest`
+    instead and read the normalized instance back off the request.
+
+    Scoped like REPRO011: by module prefix for ``repro.cli`` and
+    ``repro.serve``, by path for ``examples/``.
+    """
+
+    rule_id = "REPRO014"
+    title = "no RouterConfig construction outside the facade"
+    rationale = (
+        "direct RouterConfig construction in user-facing layers bypasses "
+        "the facade's normalization and freezes the config schema into "
+        "caller code"
+    )
+    remedy = (
+        "pass a plain mapping as RouteRequest(config={...}) and read the "
+        "normalized RouterConfig back from request.config"
+    )
+    node_types = (ast.Call,)
+
+    @staticmethod
+    def _user_facing(ctx: FileContext) -> bool:
+        if Rule._matches(ctx.module, ("repro.cli", "repro.serve")):
+            return True
+        return "examples" in Path(ctx.path).parts
+
+    @staticmethod
+    def _is_banned(name: str) -> bool:
+        if name.endswith(".from_dict"):
+            name = name[: -len(".from_dict")]
+        return name == "RouterConfig" or name.endswith(".RouterConfig")
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ``RouterConfig(...)`` / ``RouterConfig.from_dict(...)``."""
+        if not self._user_facing(ctx):
+            return
+        name = dotted_name(node.func)
+        if name is not None and self._is_banned(name):
+            yield ctx.finding(self, node, f"{name}() outside the facade")
 
 
 #: Scope tuples re-exported for the docs generator and tests.

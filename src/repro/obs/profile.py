@@ -53,6 +53,10 @@ RATE_DEFINITIONS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
     ),
     "ir.reroute_rate": (("ir.reroutes",), ("ir.connections_routed",)),
     "parallel.retry_rate": (("parallel.retries",), ("parallel.tasks",)),
+    "serve.artifact_cache_hit_rate": (
+        ("serve.artifacts.hits",),
+        ("serve.artifacts.misses",),
+    ),
 }
 
 

@@ -30,7 +30,9 @@ REPORT_KIND = "repro.run_report"
 
 
 def build_run_report(
-    result: Any, case: Optional[Dict[str, Any]] = None
+    result: Any,
+    case: Optional[Dict[str, Any]] = None,
+    serve: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Build the run-report dict for a routing result.
 
@@ -40,6 +42,9 @@ def build_run_report(
             reported as ``null``).
         case: optional caller-supplied context (case name, sizes, router
             name, CLI arguments) stored verbatim under ``"case"``.
+        serve: optional service-level telemetry
+            (:meth:`repro.serve.RoutingService.serve_section`) stored
+            under ``"serve"`` when the run went through the service.
 
     Returns:
         A JSON-ready dict; top-level phase totals always equal the
@@ -72,6 +77,8 @@ def build_run_report(
         "parallel": _parallel_section(getattr(result, "parallel_info", None)),
         "telemetry": _telemetry_section(getattr(result, "telemetry", None)),
     }
+    if serve is not None:
+        doc["serve"] = dict(serve)
     return doc
 
 
@@ -79,9 +86,10 @@ def write_run_report(
     path: Union[str, Path],
     result: Any,
     case: Optional[Dict[str, Any]] = None,
+    serve: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Serialize :func:`build_run_report` to ``path``; returns the dict."""
-    doc = build_run_report(result, case=case)
+    doc = build_run_report(result, case=case, serve=serve)
     Path(path).write_text(json.dumps(doc, indent=1, sort_keys=False))
     return doc
 
@@ -159,6 +167,22 @@ def validate_run_report(doc: Any) -> List[str]:
                             "quantile digest object with a count field"
                         )
                         break
+    serve = doc.get("serve")
+    if serve is not None:
+        if not isinstance(serve, dict):
+            problems.append("serve must be an object when present")
+        else:
+            for key in ("submitted", "completed", "failed", "preemptions"):
+                value = serve.get(key)
+                if not isinstance(value, int) or value < 0:
+                    problems.append(f"serve.{key} must be a non-negative int")
+            cache = serve.get("artifact_cache")
+            if not isinstance(cache, dict) or not isinstance(
+                cache.get("hits"), int
+            ):
+                problems.append(
+                    "serve.artifact_cache must be an object with int hits"
+                )
     return problems
 
 

@@ -39,6 +39,7 @@ exception fails fast and propagates to the dispatch side.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
@@ -171,6 +172,10 @@ class ParallelExecutor:
         self.fault_plan = fault_plan
         self._pool: Optional[ThreadPoolExecutor] = None
         self._process_pool: Optional[ProcessPoolExecutor] = None
+        # Lazy pool creation must be race-free: the serving layer shares
+        # one executor across concurrent request workers, so two first
+        # maps may arrive at once.
+        self._pool_lock = threading.Lock()
 
     @property
     def is_parallel(self) -> bool:
@@ -245,7 +250,9 @@ class ParallelExecutor:
         self, fn: Callable[[T], R], items: List[T], ordered: bool
     ) -> List[R]:
         if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.num_workers)
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(max_workers=self.num_workers)
         run = self._run_task
         if ordered:
             return list(self._pool.map(lambda item: run(fn, item), items))
@@ -275,12 +282,14 @@ class ParallelExecutor:
     # -- process backend ------------------------------------------------
     def _ensure_process_pool(self) -> ProcessPoolExecutor:
         if self._process_pool is None:
-            import multiprocessing
+            with self._pool_lock:
+                if self._process_pool is None:
+                    import multiprocessing
 
-            self._process_pool = ProcessPoolExecutor(
-                max_workers=self.num_workers,
-                mp_context=multiprocessing.get_context("spawn"),
-            )
+                    self._process_pool = ProcessPoolExecutor(
+                        max_workers=self.num_workers,
+                        mp_context=multiprocessing.get_context("spawn"),
+                    )
         return self._process_pool
 
     def _process_map(

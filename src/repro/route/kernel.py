@@ -82,6 +82,14 @@ class RoutingKernel:
         state: the demand bookkeeping whose dirty edges drive refreshes.
         search_stats: optional shared counters the flat searches
             accumulate into (same contract as the closure searches).
+        seed_trees: optional source die → ``(dist, prev)`` SSSP trees
+            built from the *pristine* (zero-demand, zero-history) cost
+            vector (:func:`repro.core.artifacts.build_artifacts`).  They
+            enter the cache at epoch 0 — valid exactly until the first
+            cost value changes — so passing them is only correct for a
+            fresh (non-resumed) run whose initial cost vector is the
+            pristine one.  The shared lists are treated as immutable: a
+            stale tree is replaced wholesale, never patched.
     """
 
     def __init__(
@@ -90,6 +98,9 @@ class RoutingKernel:
         cost_model: "EdgeCostModel",
         state: "NegotiationState",
         search_stats: Optional[SearchStats] = None,
+        seed_trees: Optional[
+            Mapping[int, Tuple[List[float], List[int]]]
+        ] = None,
     ) -> None:
         self.graph = graph
         self.cost_model = cost_model
@@ -116,6 +127,9 @@ class RoutingKernel:
         self.epoch = 0
         #: source die -> (epoch, dist, prev)
         self._trees: Dict[int, Tuple[int, List[float], List[int]]] = {}
+        if seed_trees:
+            for source, (dist, prev) in seed_trees.items():
+                self._trees[int(source)] = (0, dist, prev)
         # The vector above already reflects the current demand/history;
         # consume any dirtiness accumulated before the kernel existed.
         state.drain_dirty()

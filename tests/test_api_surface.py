@@ -5,6 +5,12 @@
 export list, so any accidental parameter rename/removal — an API break
 for downstream users — fails CI rather than shipping silently.
 Additions are fine: extend the snapshot in the same change.
+
+Two surfaces coexist: the canonical request/response entry points
+(``RouteRequest``/``RouteResponse``/``route_request``/...) and the
+deprecated legacy shims they subsume (``route(system, netlist, ...)``,
+``resume(path)``, ``evaluate(system, netlist, solution)``).  Both are
+pinned: the shims stay callable until a semver-major release drops them.
 """
 
 from __future__ import annotations
@@ -19,48 +25,87 @@ import repro.api as api
 #: name -> exact signature string.  Update deliberately, never casually:
 #: loosening/renaming anything here is a semver-major API break.
 SIGNATURES = {
+    # Dual-surface shims: first parameter accepts a RouteRequest
+    # (canonical) or the legacy positional case (deprecated).
     "route": (
-        "(system: 'Any', netlist: 'Netlist', "
+        "(request: 'Union[RouteRequest, Any]', "
+        "netlist: 'Optional[Netlist]' = None, "
         "delay_model: 'Optional[DelayModel]' = None, *, "
         "config: 'Optional[RouterConfig]' = None, "
         "tracer: 'Optional[Any]' = None, "
         "checkpoint_dir: 'Optional[Union[str, Path]]' = None) "
-        "-> 'RoutingResult'"
+        "-> 'Union[RouteResponse, RoutingResult]'"
     ),
     "resume": (
-        "(checkpoint: 'Union[str, Path]', *, "
-        "tracer: 'Optional[Tracer]' = None, "
+        "(checkpoint: 'Union[RouteRequest, str, Path]', *, "
+        "tracer: 'Optional[Any]' = None, "
         "checkpoint_dir: 'Optional[Union[str, Path]]' = None) "
-        "-> 'RoutingResult'"
+        "-> 'Union[RouteResponse, RoutingResult]'"
     ),
     "evaluate": (
-        "(system: 'Any', netlist: 'Netlist', solution: 'RoutingSolution', "
-        "delay_model: 'Optional[DelayModel]' = None) -> 'Evaluation'"
+        "(request: 'Union[RouteRequest, Any]', "
+        "netlist: 'Optional[Netlist]' = None, "
+        "solution: 'Optional[Union[RoutingSolution, Mapping[str, Any]]]' = None, "
+        "delay_model: 'Optional[DelayModel]' = None, *, "
+        "cache: 'Optional[ArtifactCache]' = None) -> 'Evaluation'"
     ),
     "load_solution": (
         "(path: 'Union[str, Path]', system: 'Any', netlist: 'Netlist', *, "
         "format: 'str' = 'auto') -> 'RoutingSolution'"
     ),
+    # The canonical request/response entry points.
+    "route_request": (
+        "(request: 'RouteRequest', *, tracer: 'Optional[Any]' = None, "
+        "cache: 'Optional[ArtifactCache]' = None, "
+        "executor: 'Optional[ParallelExecutor]' = None, "
+        "checkpoint_factory: 'Optional[Callable[..., Any]]' = None, "
+        "queue_seconds: 'float' = 0.0, preemptions: 'int' = 0, "
+        "reraise: 'Tuple[type, ...]' = ()) -> 'RouteResponse'"
+    ),
+    "execute_request": (
+        "(request: 'RouteRequest', *, tracer: 'Optional[Any]' = None, "
+        "cache: 'Optional[ArtifactCache]' = None, "
+        "executor: 'Optional[ParallelExecutor]' = None, "
+        "checkpoint_factory: 'Optional[Callable[..., Any]]' = None) "
+        "-> 'RoutingResult'"
+    ),
+    "resolve_case": (
+        "(request: 'RouteRequest', *, "
+        "cache: 'Optional[ArtifactCache]' = None, "
+        "tracer: 'Optional[Any]' = None) "
+        "-> 'Tuple[Any, Netlist, DelayModel]'"
+    ),
 }
 
 EXPORTS = [
+    "ArtifactCache",
     "CheckpointManager",
     "EcoRouter",
     "Evaluation",
     "FaultInjectingTracer",
     "FaultPlan",
     "FaultSpec",
+    "ParallelExecutor",
     "PortfolioRouter",
+    "REQUEST_SCHEMA_VERSION",
+    "RouteRequest",
+    "RouteResponse",
     "RouterConfig",
+    "RoutingArtifacts",
     "RoutingResult",
     "SynergisticRouter",
     "TdmAssigner",
+    "build_artifacts",
+    "default_artifact_cache",
     "default_portfolio",
     "evaluate",
+    "execute_request",
     "load_solution",
     "parallel_run_info",
+    "resolve_case",
     "resume",
     "route",
+    "route_request",
     "solution_fingerprint",
     "solution_state",
 ]
@@ -79,6 +124,9 @@ class TestFacadeSignatures:
     def test_export_list_is_stable(self):
         assert api.__all__ == EXPORTS
 
+    def test_export_list_is_sorted(self):
+        assert api.__all__ == sorted(api.__all__)
+
     def test_every_export_resolves(self):
         for name in api.__all__:
             assert getattr(api, name) is not None
@@ -86,7 +134,18 @@ class TestFacadeSignatures:
 
 class TestTopLevelReExports:
     def test_facade_functions_are_the_same_objects(self):
-        for name in ("route", "resume", "evaluate", "load_solution"):
+        for name in (
+            "route",
+            "resume",
+            "evaluate",
+            "load_solution",
+            "route_request",
+            "execute_request",
+        ):
+            assert getattr(repro, name) is getattr(api, name)
+
+    def test_request_types_reachable_from_repro(self):
+        for name in ("RouteRequest", "RouteResponse", "ArtifactCache"):
             assert getattr(repro, name) is getattr(api, name)
 
     def test_resilience_types_reachable_from_repro(self):
@@ -98,6 +157,58 @@ class TestTopLevelReExports:
             "solution_fingerprint",
         ):
             assert getattr(repro, name) is getattr(api, name)
+
+
+class TestLegacyShimsDeprecate:
+    """The legacy kwarg paths still work but must warn (docs/api.md)."""
+
+    def test_legacy_route_warns(self, tiny_case):
+        system, netlist = tiny_case
+        with pytest.warns(DeprecationWarning, match="RouteRequest"):
+            result = api.route(system, netlist)
+        assert result.conflict_count == 0
+
+    def test_legacy_evaluate_warns(self, tiny_case):
+        system, netlist = tiny_case
+        with pytest.warns(DeprecationWarning):
+            result = api.route(system, netlist)
+        with pytest.warns(DeprecationWarning, match="RouteRequest"):
+            evaluation = api.evaluate(system, netlist, result.solution)
+        assert evaluation.is_legal
+
+    def test_legacy_resume_warns(self, tiny_case, tmp_path):
+        system, netlist = tiny_case
+        from repro.timing import DelayModel
+
+        with pytest.warns(DeprecationWarning):
+            api.route(system, netlist, checkpoint_dir=tmp_path)
+        with pytest.warns(DeprecationWarning, match="RouteRequest"):
+            resumed = api.resume(tmp_path)
+        assert resumed.conflict_count == 0
+        assert isinstance(resumed, api.RoutingResult)
+        assert api.solution_fingerprint(resumed.solution, DelayModel())
+
+    def test_canonical_route_does_not_warn(self, recwarn, tiny_case_request):
+        response = api.route(tiny_case_request)
+        assert isinstance(response, api.RouteResponse)
+        assert response.status == "ok"
+        deprecations = [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
+        assert not deprecations
+
+
+@pytest.fixture()
+def tiny_case():
+    from repro.benchgen import load_case
+
+    case = load_case("case02")
+    return case.system, case.netlist
+
+
+@pytest.fixture()
+def tiny_case_request():
+    return api.RouteRequest(contest_case="case02")
 
 
 class TestRouterConfigContract:

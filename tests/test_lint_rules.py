@@ -171,6 +171,31 @@ MATRIX = [
         "from collections import defaultdict\nRETRIES = defaultdict(int)\n",
         "RETRY_SITES = ('parallel.task',)\n",
     ),
+    (
+        # The service layer imports through the facade like the CLI.
+        "REPRO011",
+        "repro.serve.service",
+        "from repro.core import RouterConfig\n",
+        "from repro.api import RouterConfig\n",
+    ),
+    (
+        "REPRO014",
+        "repro.cli.main",
+        "from repro import RouterConfig\nconfig = RouterConfig(num_workers=4)\n",
+        "from repro.api import RouteRequest\n"
+        "request = RouteRequest(contest_case='case02', "
+        "config={'num_workers': 4})\n",
+    ),
+    (
+        # from_dict is construction too: the facade owns normalization.
+        "REPRO014",
+        "repro.serve.service",
+        "from repro.api import RouterConfig\n"
+        "config = RouterConfig.from_dict({'num_workers': 4})\n",
+        "from repro.api import RouteRequest\n"
+        "def normalize(knobs):\n"
+        "    return RouteRequest(contest_case='case02', config=knobs).config\n",
+    ),
 ]
 
 MATRIX_IDS = [f"{rule_id}-{module.rsplit('.', 1)[-1]}" for rule_id, module, _, _ in MATRIX]
